@@ -1,0 +1,31 @@
+//! The three state-of-the-art baselines compared in §6 of the URPSM
+//! paper, implemented behind the same [`urpsm_core::planner::Planner`]
+//! trait as `GreedyDP`/`pruneGreedyDP`:
+//!
+//! * [`tshare`] — T-Share (Ma, Zheng, Wolfson; ICDE'13): a sorted-cell
+//!   grid search shortlists workers, basic `O(n³)` insertion places the
+//!   request. Fast but its lossy spatial search "mistakenly removes
+//!   many possible workers" (§6.2), giving the lowest served rate.
+//! * [`kinetic`] — the kinetic-tree approach (Huang, Bastani, Jin,
+//!   Wang; VLDB'14): search over *all feasible orderings* of a worker's
+//!   pending stops, not just order-preserving insertions. Best
+//!   per-vehicle routes, exponential `(2K_w)!`-style cost — the paper
+//!   shows it failing to finish at scale.
+//! * [`batch`] — the batch/grouping method (Alonso-Mora et al.;
+//!   PNAS'17) at the fidelity the URPSM authors evaluate: requests are
+//!   buffered into short epochs, grouped by pairwise shareability, and
+//!   groups are greedily assigned to the worker serving the most
+//!   members with the least added distance.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod kinetic;
+pub mod tshare;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::batch::{BatchConfig, BatchPlanner};
+    pub use crate::kinetic::{KineticConfig, KineticPlanner};
+    pub use crate::tshare::{TShareConfig, TSharePlanner};
+}

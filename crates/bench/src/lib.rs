@@ -1,0 +1,9 @@
+//! Experiment harness shared by the `experiments` binary and the
+//! criterion benches: scenario caching, cell execution, and the
+//! fixed-width tables that mirror the paper's figure panels.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod harness;
+pub mod table;

@@ -1,0 +1,118 @@
+//! Minimal fixed-width table rendering for the experiment reports.
+
+use std::io::Write;
+
+/// A fixed-width text table with a title row.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders to `w` (callers pass a locked, buffered stdout).
+    pub fn render(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(w, "\n## {}", self.title)?;
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", h, width = widths[i]));
+        }
+        writeln!(w, "{}", line.trim_end())?;
+        writeln!(w, "{}", "-".repeat(line.trim_end().len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+            }
+            writeln!(w, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Human formatting for big numbers: `12.3M`, `4.5k`, …
+pub fn human(v: u64) -> String {
+    const K: f64 = 1_000.0;
+    let v = v as f64;
+    if v >= K * K * K {
+        format!("{:.2}G", v / (K * K * K))
+    } else if v >= K * K {
+        format!("{:.2}M", v / (K * K))
+    } else if v >= K {
+        format!("{:.1}k", v / K)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats bytes as `KiB`/`MiB`.
+pub fn human_bytes(v: usize) -> String {
+    let v = v as f64;
+    const KI: f64 = 1024.0;
+    if v >= KI * KI {
+        format!("{:.2} MiB", v / (KI * KI))
+    } else if v >= KI {
+        format!("{:.1} KiB", v / KI)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["algo", "UC"]);
+        t.push(vec!["tshare".into(), "123".into()]);
+        t.push(vec!["pruneGreedyDP".into(), "7".into()]);
+        let mut buf = Vec::new();
+        t.render(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("pruneGreedyDP"));
+        // Right-aligned: the short value sits at the column edge.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.iter().any(|l| l.ends_with("123")));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_enforced() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn human_scales() {
+        assert_eq!(human(950), "950");
+        assert_eq!(human(1_500), "1.5k");
+        assert_eq!(human(2_500_000), "2.50M");
+        assert_eq!(human(3_000_000_000), "3.00G");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2_048), "2.0 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.00 MiB");
+    }
+}

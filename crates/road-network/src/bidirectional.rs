@@ -1,0 +1,296 @@
+//! Bidirectional Dijkstra for point-to-point queries.
+//!
+//! Path queries in the simulator (route-leg expansion, §5.3's 2–4 path
+//! queries per accepted request) are point-to-point; a bidirectional
+//! search settles roughly half the vertices of a unidirectional one on
+//! road networks. Exactness follows the classic argument: once the sum
+//! of the two search frontiers' minima exceeds the best meeting-point
+//! distance `μ`, no better path can exist.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::RoadNetwork;
+use crate::{Cost, VertexId, INF};
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One direction's search state (workhorse buffers, epoch-reset).
+#[derive(Debug)]
+struct Side {
+    dist: Vec<Cost>,
+    parent: Vec<u32>,
+    epoch: Vec<u32>,
+    heap: BinaryHeap<Reverse<(Cost, u32)>>,
+}
+
+impl Side {
+    fn new(n: usize) -> Self {
+        Side {
+            dist: vec![INF; n],
+            parent: vec![NO_PARENT; n],
+            epoch: vec![0; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, i: usize, epoch: u32) {
+        if self.epoch[i] != epoch {
+            self.epoch[i] = epoch;
+            self.dist[i] = INF;
+            self.parent[i] = NO_PARENT;
+        }
+    }
+
+    #[inline]
+    fn seen(&self, i: usize, epoch: u32) -> Cost {
+        if self.epoch[i] == epoch {
+            self.dist[i]
+        } else {
+            INF
+        }
+    }
+}
+
+/// Reusable bidirectional point-to-point engine.
+#[derive(Debug)]
+pub struct BidirDijkstra {
+    fwd: Side,
+    bwd: Side,
+    current_epoch: u32,
+}
+
+impl BidirDijkstra {
+    /// Engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BidirDijkstra {
+            fwd: Side::new(n),
+            bwd: Side::new(n),
+            current_epoch: 0,
+        }
+    }
+
+    /// Engine sized for `g`.
+    pub fn for_network(g: &RoadNetwork) -> Self {
+        Self::new(g.num_vertices())
+    }
+
+    /// Shortest distance `s → t`; [`INF`] when disconnected.
+    pub fn distance(&mut self, g: &RoadNetwork, s: VertexId, t: VertexId) -> Cost {
+        self.search(g, s, t).0
+    }
+
+    /// Shortest path `s → t` inclusive of endpoints.
+    pub fn shortest_path(
+        &mut self,
+        g: &RoadNetwork,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<Vec<VertexId>> {
+        let (d, meet) = self.search(g, s, t);
+        if d >= INF {
+            return None;
+        }
+        let meet = meet.expect("finite distance has a meeting vertex");
+        // Forward half: meet ← … ← s, reversed.
+        let mut path = Vec::new();
+        let mut cur = meet.0;
+        loop {
+            path.push(VertexId(cur));
+            let p = self.fwd.parent[cur as usize];
+            if p == NO_PARENT {
+                break;
+            }
+            cur = p;
+        }
+        path.reverse();
+        // Backward half: meet → … → t.
+        let mut cur = meet.0;
+        while self.bwd.parent[cur as usize] != NO_PARENT {
+            cur = self.bwd.parent[cur as usize];
+            path.push(VertexId(cur));
+        }
+        debug_assert_eq!(*path.first().expect("non-empty"), s);
+        debug_assert_eq!(*path.last().expect("non-empty"), t);
+        Some(path)
+    }
+
+    fn search(&mut self, g: &RoadNetwork, s: VertexId, t: VertexId) -> (Cost, Option<VertexId>) {
+        if s == t {
+            // Establish parents for the trivial path.
+            self.begin(s, t);
+            return (0, Some(s));
+        }
+        self.begin(s, t);
+        let epoch = self.current_epoch;
+        let mut best: Cost = INF;
+        let mut meet: Option<VertexId> = None;
+
+        loop {
+            let f_top = self.fwd.heap.peek().map(|Reverse((d, _))| *d);
+            let b_top = self.bwd.heap.peek().map(|Reverse((d, _))| *d);
+            let (Some(fd), Some(bd)) = (f_top, b_top) else {
+                break; // one side exhausted: remaining pairs can't improve
+            };
+            if crate::cost_add(fd, bd) >= best {
+                break; // termination criterion
+            }
+            // Expand the smaller frontier.
+            let forward = fd <= bd;
+            let (this, other) = if forward {
+                (&mut self.fwd, &mut self.bwd)
+            } else {
+                (&mut self.bwd, &mut self.fwd)
+            };
+            let Some(Reverse((d, v))) = this.heap.pop() else {
+                break;
+            };
+            if d > this.seen(v as usize, epoch) {
+                continue;
+            }
+            let lo = g.offsets[v as usize] as usize;
+            let hi = g.offsets[v as usize + 1] as usize;
+            for k in lo..hi {
+                let n = g.targets[k] as usize;
+                let nd = d + g.costs[k];
+                this.touch(n, epoch);
+                if nd < this.dist[n] {
+                    this.dist[n] = nd;
+                    this.parent[n] = v;
+                    this.heap.push(Reverse((nd, n as u32)));
+                }
+                // Meeting check against the opposite search.
+                let od = other.seen(n, epoch);
+                if od < INF {
+                    let total = crate::cost_add(this.dist[n], od);
+                    if total < best {
+                        best = total;
+                        meet = Some(VertexId(n as u32));
+                    }
+                }
+            }
+        }
+        (best, meet)
+    }
+
+    fn begin(&mut self, s: VertexId, t: VertexId) {
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            self.fwd.epoch.fill(0);
+            self.bwd.epoch.fill(0);
+            self.current_epoch = 1;
+        }
+        let epoch = self.current_epoch;
+        self.fwd.heap.clear();
+        self.bwd.heap.clear();
+        self.fwd.touch(s.idx(), epoch);
+        self.fwd.dist[s.idx()] = 0;
+        self.fwd.heap.push(Reverse((0, s.0)));
+        self.bwd.touch(t.idx(), epoch);
+        self.bwd.dist[t.idx()] = 0;
+        self.bwd.heap.push(Reverse((0, t.0)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::dijkstra::DijkstraEngine;
+    use crate::geo::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: u32, extra: u32, seed: u64) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetworkBuilder::new();
+        for i in 0..n {
+            b.add_vertex(Point::new(f64::from(i), 0.0));
+        }
+        for i in 1..n {
+            let p = rng.gen_range(0..i);
+            b.add_edge_with_cost(VertexId(i), VertexId(p), rng.gen_range(1..50))
+                .unwrap();
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge_with_cost(VertexId(u), VertexId(v), rng.gen_range(1..50))
+                    .unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_unidirectional_on_random_graphs() {
+        for seed in 0..6 {
+            let g = random_graph(80, 120, seed);
+            let mut bidi = BidirDijkstra::for_network(&g);
+            let mut uni = DijkstraEngine::for_network(&g);
+            for u in (0..80u32).step_by(7) {
+                for v in (0..80u32).step_by(5) {
+                    assert_eq!(
+                        bidi.distance(&g, VertexId(u), VertexId(v)),
+                        uni.distance(&g, VertexId(u), VertexId(v)),
+                        "seed {seed} pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_and_tight() {
+        let g = random_graph(60, 100, 42);
+        let mut bidi = BidirDijkstra::for_network(&g);
+        let mut uni = DijkstraEngine::for_network(&g);
+        for (s, t) in [(0u32, 59u32), (10, 45), (3, 3), (59, 0)] {
+            let (s, t) = (VertexId(s), VertexId(t));
+            let p = bidi.shortest_path(&g, s, t).unwrap();
+            assert_eq!(*p.first().unwrap(), s);
+            assert_eq!(*p.last().unwrap(), t);
+            // Each hop is a real edge; the total equals the distance.
+            let mut total = 0;
+            for w in p.windows(2) {
+                let cost = g
+                    .neighbors(w[0])
+                    .find(|(v, _)| *v == w[1])
+                    .map(|(_, c)| c)
+                    .expect("path hop must be an edge");
+                total += cost;
+            }
+            assert_eq!(total, uni.distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn disconnected_returns_inf_and_none() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(1.0, 0.0));
+        let d = b.add_vertex(Point::new(2.0, 0.0));
+        let e = b.add_vertex(Point::new(3.0, 0.0));
+        b.add_edge_with_cost(a, c, 5).unwrap();
+        b.add_edge_with_cost(d, e, 5).unwrap();
+        let g = b.finish().unwrap();
+        let mut bidi = BidirDijkstra::for_network(&g);
+        assert_eq!(bidi.distance(&g, a, d), INF);
+        assert_eq!(bidi.shortest_path(&g, a, d), None);
+        assert_eq!(bidi.distance(&g, a, c), 5);
+    }
+
+    #[test]
+    fn engine_reuse_is_clean() {
+        let g = random_graph(50, 70, 9);
+        let mut bidi = BidirDijkstra::for_network(&g);
+        let mut uni = DijkstraEngine::for_network(&g);
+        for i in 0..200u32 {
+            let s = VertexId(i % 50);
+            let t = VertexId((i * 7 + 3) % 50);
+            assert_eq!(bidi.distance(&g, s, t), uni.distance(&g, s, t));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Incremental construction of [`RoadNetwork`]s.
+
+use crate::error::{NetworkError, Result};
+use crate::geo::Point;
+use crate::graph::{travel_cost, RoadClass, RoadNetwork};
+use crate::{Cost, VertexId};
+
+/// Builds a [`RoadNetwork`] edge by edge, validating as it goes.
+///
+/// Parallel edges are allowed during construction; `finish` keeps the
+/// cheapest. Self-loops and dangling endpoints are rejected eagerly so
+/// errors point at the offending call site.
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    coords: Vec<Point>,
+    edges: Vec<(u32, u32, Cost)>,
+    top_speed_mps: f64,
+}
+
+impl NetworkBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            coords: Vec::new(),
+            edges: Vec::new(),
+            top_speed_mps: RoadClass::FASTEST_MPS,
+        }
+    }
+
+    /// Pre-sizes internal buffers.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        NetworkBuilder {
+            coords: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            top_speed_mps: RoadClass::FASTEST_MPS,
+        }
+    }
+
+    /// Overrides the top speed used for Euclidean lower bounds.
+    ///
+    /// Must be at least as fast as any edge actually added, otherwise
+    /// the Euclidean bound of §5.1 would stop being a lower bound; the
+    /// default is [`RoadClass::FASTEST_MPS`].
+    pub fn set_top_speed_mps(&mut self, mps: f64) {
+        assert!(mps > 0.0, "top speed must be positive");
+        self.top_speed_mps = mps;
+    }
+
+    /// Adds a vertex at `p`, returning its id.
+    pub fn add_vertex(&mut self, p: Point) -> VertexId {
+        let id = VertexId(self.coords.len() as u32);
+        self.coords.push(p);
+        id
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Adds an undirected edge with an explicit travel cost.
+    pub fn add_edge_with_cost(&mut self, u: VertexId, v: VertexId, cost: Cost) -> Result<()> {
+        if u == v {
+            return Err(NetworkError::SelfLoop(u));
+        }
+        for &w in &[u, v] {
+            if w.idx() >= self.coords.len() {
+                return Err(NetworkError::UnknownVertex(w));
+            }
+        }
+        if cost == 0 || cost >= crate::INF {
+            return Err(NetworkError::InvalidEdgeCost { from: u, to: v });
+        }
+        self.edges.push((u.0, v.0, cost));
+        Ok(())
+    }
+
+    /// Adds an undirected road segment of physical length `length_m`
+    /// driven at the speed of `class`; the cost is the travel time.
+    pub fn add_road(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        length_m: f64,
+        class: RoadClass,
+    ) -> Result<()> {
+        let cost = travel_cost(length_m, class.speed_mps()).max(1);
+        self.add_edge_with_cost(u, v, cost)
+    }
+
+    /// Adds a road whose length is the straight-line distance between
+    /// the endpoints' coordinates (typical for generated city grids).
+    pub fn add_straight_road(&mut self, u: VertexId, v: VertexId, class: RoadClass) -> Result<()> {
+        for &w in &[u, v] {
+            if w.idx() >= self.coords.len() {
+                return Err(NetworkError::UnknownVertex(w));
+            }
+        }
+        let len = self.coords[u.idx()].euclidean_m(&self.coords[v.idx()]);
+        self.add_road(u, v, len, class)
+    }
+
+    /// Finalizes into CSR form.
+    pub fn finish(self) -> Result<RoadNetwork> {
+        if self.coords.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        if self.coords.len() > u32::MAX as usize {
+            return Err(NetworkError::TooManyVertices(self.coords.len()));
+        }
+        let n = self.coords.len();
+
+        // Deduplicate parallel edges, keeping the cheapest.
+        let mut dedup: crate::fxhash::FxHashMap<(u32, u32), Cost> =
+            crate::fxhash::FxHashMap::default();
+        dedup.reserve(self.edges.len());
+        for (u, v, c) in self.edges {
+            let key = if u < v { (u, v) } else { (v, u) };
+            dedup
+                .entry(key)
+                .and_modify(|e| *e = (*e).min(c))
+                .or_insert(c);
+        }
+        let undirected_edges = dedup.len();
+
+        // Counting sort into CSR.
+        let mut degree = vec![0u32; n];
+        for &(u, v) in dedup.keys() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let half_edges = offsets[n] as usize;
+        let mut targets = vec![0u32; half_edges];
+        let mut costs = vec![0 as Cost; half_edges];
+        let mut cursor = offsets[..n].to_vec();
+        for (&(u, v), &c) in &dedup {
+            let cu = cursor[u as usize] as usize;
+            targets[cu] = v;
+            costs[cu] = c;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            targets[cv] = u;
+            costs[cv] = c;
+            cursor[v as usize] += 1;
+        }
+
+        // Sort each adjacency list by target id for deterministic
+        // iteration (HashMap order must not leak into results).
+        for i in 0..n {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            let mut pairs: Vec<(u32, Cost)> = targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(costs[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (k, (t, c)) in pairs.into_iter().enumerate() {
+                targets[lo + k] = t;
+                costs[lo + k] = c;
+            }
+        }
+
+        Ok(RoadNetwork {
+            coords: self.coords,
+            offsets,
+            targets,
+            costs,
+            undirected_edges,
+            top_speed_mps: self.top_speed_mps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop_and_unknown_vertex() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        assert_eq!(
+            b.add_edge_with_cost(v0, v0, 1),
+            Err(NetworkError::SelfLoop(v0))
+        );
+        assert_eq!(
+            b.add_edge_with_cost(v0, VertexId(7), 1),
+            Err(NetworkError::UnknownVertex(VertexId(7)))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_cost_edge() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        assert!(b.add_edge_with_cost(v0, v1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(NetworkBuilder::new().finish().unwrap_err(), NetworkError::Empty);
+    }
+
+    #[test]
+    fn parallel_edges_keep_cheapest() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        b.add_edge_with_cost(v0, v1, 10).unwrap();
+        b.add_edge_with_cost(v1, v0, 4).unwrap();
+        b.add_edge_with_cost(v0, v1, 7).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(v0).next(), Some((v1, 4)));
+    }
+
+    #[test]
+    fn straight_road_costs_match_speed() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(230.0, 0.0)); // 230 m
+        b.add_straight_road(v0, v1, RoadClass::Motorway).unwrap();
+        let g = b.finish().unwrap();
+        // 230 m at 23 m/s = 10 s = 1000 cs.
+        assert_eq!(g.neighbors(v0).next(), Some((v1, 1000)));
+    }
+
+    #[test]
+    fn adjacency_sorted_by_target() {
+        let mut b = NetworkBuilder::new();
+        let c = b.add_vertex(Point::new(0.0, 0.0));
+        let mut spokes = Vec::new();
+        for i in 0..10 {
+            spokes.push(b.add_vertex(Point::new(f64::from(i + 1), 0.0)));
+        }
+        // Insert hub edges in reverse order.
+        for s in spokes.iter().rev() {
+            b.add_edge_with_cost(c, *s, 5).unwrap();
+        }
+        let g = b.finish().unwrap();
+        let order: Vec<u32> = g.neighbors(c).map(|(v, _)| v.0).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+}

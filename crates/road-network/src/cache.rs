@@ -1,0 +1,386 @@
+//! LRU caching of shortest-distance and shortest-path queries.
+//!
+//! §6.1: "An LRU cache (ref 25) is maintained for shortest distance and path
+//! queries, and is used by all the algorithms." [`LruCache`] is a
+//! from-scratch map + intrusive doubly-linked-list implementation (the
+//! classic O(1) design); [`LruCachedOracle`] is the decorator that puts
+//! it in front of any [`DistanceOracle`]. Distances are cached under the
+//! unordered pair (the network is undirected, so `dis` is symmetric);
+//! paths are cached directed and reversed on a mirrored hit.
+
+use parking_lot::Mutex;
+
+use crate::fxhash::FxHashMap;
+use crate::geo::Point;
+use crate::oracle::DistanceOracle;
+use crate::{Cost, VertexId};
+
+/// A fixed-capacity least-recently-used cache with O(1) operations.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot, `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: FxHashMap::default(),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction (gets only).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slots[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the least recently used
+    /// entry when full. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return None;
+        }
+        if self.map.len() < self.capacity {
+            let i = self.slots.len();
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            None
+        } else {
+            // Reuse the tail slot.
+            let i = self.tail;
+            self.unlink(i);
+            let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+            let old_val = std::mem::replace(&mut self.slots[i].value, value);
+            self.map.remove(&old_key);
+            self.map.insert(key, i);
+            self.push_front(i);
+            Some((old_key, old_val))
+        }
+    }
+
+    /// Rough heap footprint in bytes (slots + map buckets).
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<K, V>>()
+            + self.map.capacity()
+                * (std::mem::size_of::<K>() + std::mem::size_of::<usize>() + 8)
+    }
+}
+
+/// Unordered vertex-pair key: `dis` is symmetric on undirected networks.
+#[inline]
+fn sym_key(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+/// Decorator caching `dis` and `shortest_path` results of an inner
+/// oracle in two LRU caches (shared across planner threads through a
+/// `parking_lot` mutex, exactly one cache per platform as in §6.1).
+pub struct LruCachedOracle<O> {
+    inner: O,
+    dis_cache: Mutex<LruCache<(u32, u32), Cost>>,
+    path_cache: Mutex<LruCache<(u32, u32), Vec<VertexId>>>,
+}
+
+impl<O: DistanceOracle> LruCachedOracle<O> {
+    /// Wraps `inner` with `dis_capacity` distance entries and
+    /// `path_capacity` path entries.
+    pub fn new(inner: O, dis_capacity: usize, path_capacity: usize) -> Self {
+        LruCachedOracle {
+            inner,
+            dis_cache: Mutex::new(LruCache::new(dis_capacity)),
+            path_cache: Mutex::new(LruCache::new(path_capacity)),
+        }
+    }
+
+    /// Distance-cache `(hits, misses)`.
+    pub fn dis_hit_stats(&self) -> (u64, u64) {
+        self.dis_cache.lock().hit_stats()
+    }
+
+    /// Path-cache `(hits, misses)`.
+    pub fn path_hit_stats(&self) -> (u64, u64) {
+        self.path_cache.lock().hit_stats()
+    }
+
+    /// Approximate memory used by both caches.
+    pub fn mem_bytes(&self) -> usize {
+        self.dis_cache.lock().mem_bytes() + self.path_cache.lock().mem_bytes()
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: DistanceOracle> DistanceOracle for LruCachedOracle<O> {
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn point(&self, v: VertexId) -> Point {
+        self.inner.point(v)
+    }
+
+    fn top_speed_mps(&self) -> f64 {
+        self.inner.top_speed_mps()
+    }
+
+    fn dis(&self, u: VertexId, v: VertexId) -> Cost {
+        if u == v {
+            return 0;
+        }
+        let key = sym_key(u, v);
+        if let Some(&d) = self.dis_cache.lock().get(&key) {
+            return d;
+        }
+        let d = self.inner.dis(u, v);
+        self.dis_cache.lock().insert(key, d);
+        d
+    }
+
+    fn shortest_path(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        if u == v {
+            return Some(vec![u]);
+        }
+        {
+            let mut cache = self.path_cache.lock();
+            if let Some(p) = cache.get(&(u.0, v.0)) {
+                return Some(p.clone());
+            }
+            if let Some(p) = cache.get(&(v.0, u.0)) {
+                let mut rev = p.clone();
+                rev.reverse();
+                return Some(rev);
+            }
+        }
+        let p = self.inner.shortest_path(u, v)?;
+        self.path_cache.lock().insert((u.0, v.0), p.clone());
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::oracle::{CountingOracle, DijkstraOracle};
+    use std::sync::Arc;
+
+    #[test]
+    fn lru_basic_eviction_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 now MRU
+        let evicted = c.insert(3, 30); // evicts 2 (LRU)
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_overwrite_does_not_grow() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn lru_hit_miss_accounting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 1);
+        c.get(&1);
+        c.get(&2);
+        c.get(&1);
+        assert_eq!(c.hit_stats(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn lru_zero_capacity_rejected() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn lru_stress_against_reference_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Reference model: Vec kept in recency order.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut c: LruCache<u8, u8> = LruCache::new(8);
+        let mut model: Vec<(u8, u8)> = Vec::new();
+        for _ in 0..5_000 {
+            let k = rng.gen_range(0..32u8);
+            if rng.gen_bool(0.5) {
+                let v = rng.gen();
+                c.insert(k, v);
+                if let Some(pos) = model.iter().position(|(mk, _)| *mk == k) {
+                    model.remove(pos);
+                }
+                model.insert(0, (k, v));
+                if model.len() > 8 {
+                    model.pop();
+                }
+            } else {
+                let got = c.get(&k).copied();
+                let expect = model.iter().position(|(mk, _)| *mk == k).map(|pos| {
+                    let e = model.remove(pos);
+                    model.insert(0, e);
+                    e.1
+                });
+                assert_eq!(got, expect);
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+
+    fn path_network() -> Arc<crate::graph::RoadNetwork> {
+        let mut b = NetworkBuilder::new();
+        for i in 0..6 {
+            b.add_vertex(Point::new(f64::from(i) * 10.0, 0.0));
+        }
+        for i in 1..6u32 {
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 7).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn cached_oracle_is_transparent_and_saves_queries() {
+        let g = path_network();
+        let counting = CountingOracle::new(DijkstraOracle::new(g));
+        let cached = LruCachedOracle::new(counting, 64, 16);
+
+        let d1 = cached.dis(VertexId(0), VertexId(5));
+        let d2 = cached.dis(VertexId(5), VertexId(0)); // symmetric hit
+        let d3 = cached.dis(VertexId(0), VertexId(5)); // direct hit
+        assert_eq!(d1, 35);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+        assert_eq!(cached.inner().stats().dis, 1, "only one real query");
+        assert_eq!(cached.dis_hit_stats(), (2, 1));
+
+        let p1 = cached.shortest_path(VertexId(0), VertexId(3)).unwrap();
+        let p2 = cached.shortest_path(VertexId(3), VertexId(0)).unwrap();
+        assert_eq!(cached.inner().stats().path, 1);
+        let mut p2r = p2.clone();
+        p2r.reverse();
+        assert_eq!(p1, p2r);
+    }
+
+    #[test]
+    fn cached_oracle_identity_queries_bypass() {
+        let g = path_network();
+        let counting = CountingOracle::new(DijkstraOracle::new(g));
+        let cached = LruCachedOracle::new(counting, 4, 4);
+        assert_eq!(cached.dis(VertexId(2), VertexId(2)), 0);
+        assert_eq!(
+            cached.shortest_path(VertexId(2), VertexId(2)),
+            Some(vec![VertexId(2)])
+        );
+        assert_eq!(cached.inner().stats().dis, 0);
+        assert_eq!(cached.inner().stats().path, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Planar geometry: points, Euclidean distance, bounding boxes.
+//!
+//! Coordinates are planar **meters** (e.g. a local projection of
+//! lat/long). The paper's decision phase (§5.1) lower-bounds road-network
+//! travel times with the Euclidean distance between coordinates; we keep
+//! coordinates in meters and convert to time at the network's top speed,
+//! which preserves `euc(u, v) <= dis(u, v)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in a planar, meter-scaled coordinate system.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from meter coordinates.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Straight-line distance to `other`, in meters.
+    #[inline]
+    pub fn euclidean_m(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Projects WGS84 latitude/longitude (degrees) onto local planar
+    /// meters using an equirectangular approximation around `lat0`.
+    ///
+    /// Good to <0.5% error at city scale, which is all the workloads
+    /// need; real OSM extracts can be imported through this.
+    pub fn from_lat_lng(lat: f64, lng: f64, lat0: f64) -> Self {
+        const EARTH_RADIUS_M: f64 = 6_371_000.0;
+        let x = EARTH_RADIUS_M * lng.to_radians() * lat0.to_radians().cos();
+        let y = EARTH_RADIUS_M * lat.to_radians();
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned bounding box over [`Point`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// The empty box (inverted bounds); extend with [`BoundingBox::include`].
+    pub fn empty() -> Self {
+        BoundingBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn include(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Builds the tight box around an iterator of points.
+    pub fn around<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.include(p);
+        }
+        b
+    }
+
+    /// Box width in meters (0 for empty boxes).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Box height in meters (0 for empty boxes).
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.euclidean_m(&b), 5.0);
+        assert_eq!(b.euclidean_m(&a), 5.0);
+        assert_eq!(a.euclidean_m(&a), 0.0);
+    }
+
+    #[test]
+    fn lat_lng_projection_scale() {
+        // One degree of latitude is ~111.2 km regardless of longitude.
+        let a = Point::from_lat_lng(40.0, -74.0, 40.0);
+        let b = Point::from_lat_lng(41.0, -74.0, 40.0);
+        let d = a.euclidean_m(&b);
+        assert!((d - 111_195.0).abs() < 500.0, "got {d}");
+    }
+
+    #[test]
+    fn bbox_grows_and_contains() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, -5.0),
+            Point::new(-2.0, 8.0),
+        ];
+        let b = BoundingBox::around(pts);
+        assert_eq!(b.min, Point::new(-2.0, -5.0));
+        assert_eq!(b.max, Point::new(10.0, 8.0));
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(!b.contains(Point::new(11.0, 0.0)));
+        assert_eq!(b.width(), 12.0);
+        assert_eq!(b.height(), 13.0);
+    }
+
+    #[test]
+    fn empty_bbox_has_zero_extent() {
+        let b = BoundingBox::empty();
+        assert_eq!(b.width(), 0.0);
+        assert_eq!(b.height(), 0.0);
+    }
+}

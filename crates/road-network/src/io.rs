@@ -1,0 +1,182 @@
+//! Plain-text serialization of road networks.
+//!
+//! A deliberately simple line-oriented format so generated cities can be
+//! saved, diffed and reloaded without extra dependencies, and real OSM
+//! extracts can be converted with a few lines of scripting:
+//!
+//! ```text
+//! urpsm-network v1
+//! top_speed 23
+//! vertices 3
+//! 0.0 0.0
+//! 100.0 0.0
+//! 100.0 100.0
+//! edges 2
+//! 0 1 435
+//! 1 2 435
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::builder::NetworkBuilder;
+use crate::error::{NetworkError, Result};
+use crate::geo::Point;
+use crate::graph::RoadNetwork;
+use crate::{Cost, VertexId};
+
+const MAGIC: &str = "urpsm-network v1";
+
+/// Writes `g` in the v1 text format.
+pub fn save_text<W: Write>(g: &RoadNetwork, mut w: W) -> std::io::Result<()> {
+    // One big buffered writer is the caller's job; we just stream lines.
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "top_speed {}", g.top_speed_mps())?;
+    writeln!(w, "vertices {}", g.num_vertices())?;
+    for v in g.vertices() {
+        let p = g.point(v);
+        writeln!(w, "{} {}", p.x, p.y)?;
+    }
+    writeln!(w, "edges {}", g.num_edges())?;
+    for u in g.vertices() {
+        for (v, c) in g.neighbors(u) {
+            if u.0 < v.0 {
+                writeln!(w, "{} {} {}", u.0, v.0, c)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn corrupt(msg: impl Into<String>) -> NetworkError {
+    NetworkError::Corrupt(msg.into())
+}
+
+/// Parses a network from the v1 text format.
+pub fn load_text<R: BufRead>(r: R) -> Result<RoadNetwork> {
+    let mut lines = r.lines().map(|l| l.map_err(|e| corrupt(e.to_string())));
+    let mut next_line = || -> Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| corrupt("unexpected end of file"))?
+    };
+
+    if next_line()?.trim() != MAGIC {
+        return Err(corrupt("bad magic line"));
+    }
+    let speed_line = next_line()?;
+    let top_speed: f64 = speed_line
+        .strip_prefix("top_speed ")
+        .ok_or_else(|| corrupt("missing top_speed"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad top_speed"))?;
+
+    let vcount_line = next_line()?;
+    let n: usize = vcount_line
+        .strip_prefix("vertices ")
+        .ok_or_else(|| corrupt("missing vertices header"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad vertex count"))?;
+
+    let mut b = NetworkBuilder::with_capacity(n, n * 2);
+    b.set_top_speed_mps(top_speed);
+    for i in 0..n {
+        let line = next_line()?;
+        let mut it = line.split_whitespace();
+        let x: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| corrupt(format!("bad x at vertex {i}")))?;
+        let y: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| corrupt(format!("bad y at vertex {i}")))?;
+        b.add_vertex(Point::new(x, y));
+    }
+
+    let ecount_line = next_line()?;
+    let m: usize = ecount_line
+        .strip_prefix("edges ")
+        .ok_or_else(|| corrupt("missing edges header"))?
+        .trim()
+        .parse()
+        .map_err(|_| corrupt("bad edge count"))?;
+    for i in 0..m {
+        let line = next_line()?;
+        let mut it = line.split_whitespace();
+        let mut field = |name: &str| -> Result<u64> {
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| corrupt(format!("bad {name} at edge {i}")))
+        };
+        let u = field("u")? as u32;
+        let v = field("v")? as u32;
+        let c: Cost = field("cost")?;
+        b.add_edge_with_cost(VertexId(u), VertexId(v), c)?;
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadClass;
+
+    fn sample() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(230.0, 0.0));
+        let v2 = b.add_vertex(Point::new(230.0, 230.0));
+        b.add_straight_road(v0, v1, RoadClass::Motorway).unwrap();
+        b.add_straight_road(v1, v2, RoadClass::Residential).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_text(&g, &mut buf).unwrap();
+        let g2 = load_text(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.top_speed_mps(), g.top_speed_mps());
+        for v in g.vertices() {
+            assert_eq!(g2.point(v), g.point(v));
+            let a: Vec<_> = g.neighbors(v).collect();
+            let b: Vec<_> = g2.neighbors(v).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let data = b"not-a-network\n";
+        assert!(matches!(
+            load_text(&data[..]),
+            Err(NetworkError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let g = sample();
+        let mut buf = Vec::new();
+        save_text(&g, &mut buf).unwrap();
+        let cut = buf.len() - 10;
+        assert!(matches!(
+            load_text(&buf[..cut]),
+            Err(NetworkError::Corrupt(_)) | Err(NetworkError::InvalidEdgeCost { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_coordinates() {
+        let data = "urpsm-network v1\ntop_speed 23\nvertices 1\nxyz 0\n";
+        assert!(matches!(
+            load_text(data.as_bytes()),
+            Err(NetworkError::Corrupt(_))
+        ));
+    }
+}

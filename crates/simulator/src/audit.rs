@@ -1,0 +1,273 @@
+//! Post-hoc audit: replay the event log and re-verify every URPSM
+//! constraint from scratch.
+//!
+//! The planners and the platform already check feasibility at commit
+//! time; the audit is independent — it looks only at the *observed*
+//! pickup/delivery events and the original request set, so a bug in
+//! the schedule arrays, the movement model, or the commit path cannot
+//! hide from it.
+
+use road_network::fxhash::FxHashMap;
+use road_network::Cost;
+use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
+
+use crate::SimEvent;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RequestTrace {
+    assigned_to: Option<WorkerId>,
+    assigned_at: Option<Time>,
+    rejected: bool,
+    pickup: Option<(Time, WorkerId)>,
+    delivery: Option<(Time, WorkerId)>,
+}
+
+/// Replays `events` against `requests`/`workers` and returns every
+/// constraint violation found (empty = clean run).
+///
+/// Checks: assignment/rejection exclusivity and completeness, pickup
+/// after release, delivery by deadline, pickup before delivery by the
+/// assigned worker, per-worker capacity over the event timeline, and
+/// (if `driven`/`planned` are provided) exact distance accounting.
+pub fn audit_events(
+    requests: &[Request],
+    workers: &[Worker],
+    events: &[SimEvent],
+    driven_planned: Option<(&[Cost], &[Cost])>,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut traces: FxHashMap<RequestId, RequestTrace> = FxHashMap::default();
+    for r in requests {
+        traces.insert(r.id, RequestTrace::default());
+    }
+
+    // Per-worker ordered load timeline (events arrive in pop order,
+    // which is the order the vehicle visits stops).
+    let mut loads: Vec<u32> = vec![0; workers.len()];
+    let by_id: FxHashMap<RequestId, &Request> = requests.iter().map(|r| (r.id, r)).collect();
+
+    for ev in events {
+        match *ev {
+            SimEvent::Assigned { t, r, w, .. } => {
+                let tr = traces.entry(r).or_default();
+                if tr.assigned_to.is_some() || tr.rejected {
+                    errors.push(format!("{r}: double decision"));
+                }
+                tr.assigned_to = Some(w);
+                tr.assigned_at = Some(t);
+            }
+            SimEvent::Rejected { r, .. } => {
+                let tr = traces.entry(r).or_default();
+                if tr.assigned_to.is_some() || tr.rejected {
+                    errors.push(format!("{r}: double decision"));
+                }
+                tr.rejected = true;
+            }
+            SimEvent::Pickup { t, r, w } => {
+                let tr = traces.entry(r).or_default();
+                if tr.pickup.is_some() {
+                    errors.push(format!("{r}: picked up twice"));
+                }
+                tr.pickup = Some((t, w));
+                if let Some(req) = by_id.get(&r) {
+                    loads[w.idx()] += req.capacity;
+                    if loads[w.idx()] > workers[w.idx()].capacity {
+                        errors.push(format!(
+                            "{w}: capacity exceeded at t={t} ({} > {})",
+                            loads[w.idx()],
+                            workers[w.idx()].capacity
+                        ));
+                    }
+                }
+            }
+            SimEvent::Delivery { t, r, w } => {
+                let tr = traces.entry(r).or_default();
+                if tr.delivery.is_some() {
+                    errors.push(format!("{r}: delivered twice"));
+                }
+                tr.delivery = Some((t, w));
+                if let Some(req) = by_id.get(&r) {
+                    loads[w.idx()] = loads[w.idx()].saturating_sub(req.capacity);
+                }
+            }
+        }
+    }
+
+    for r in requests {
+        let tr = &traces[&r.id];
+        match (tr.assigned_to, tr.rejected) {
+            (None, false) => errors.push(format!("{}: no decision recorded", r.id)),
+            (Some(_), true) => errors.push(format!("{}: both assigned and rejected", r.id)),
+            (None, true) => {
+                if tr.pickup.is_some() || tr.delivery.is_some() {
+                    errors.push(format!("{}: rejected but has stops", r.id));
+                }
+            }
+            (Some(w), false) => {
+                match (tr.pickup, tr.delivery) {
+                    (Some((tp, wp)), Some((td, wd))) => {
+                        if wp != w || wd != w {
+                            errors.push(format!("{}: served by wrong worker", r.id));
+                        }
+                        if tp < r.release {
+                            errors.push(format!(
+                                "{}: picked up at {tp} before release {}",
+                                r.id, r.release
+                            ));
+                        }
+                        if td > r.deadline {
+                            errors.push(format!(
+                                "{}: delivered at {td} after deadline {}",
+                                r.id, r.deadline
+                            ));
+                        }
+                        if tp > td {
+                            errors.push(format!("{}: delivery before pickup", r.id));
+                        }
+                    }
+                    _ => errors.push(format!("{}: assigned but not completed", r.id)),
+                }
+            }
+        }
+    }
+
+    if let Some((driven, planned)) = driven_planned {
+        for (i, (d, p)) in driven.iter().zip(planned).enumerate() {
+            if d != p {
+                errors.push(format!(
+                    "w{i}: driven distance {d} != planned distance {p}"
+                ));
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::VertexId;
+
+    fn req(id: u32, release: Time, deadline: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(0),
+            destination: VertexId(1),
+            release,
+            deadline,
+            penalty: 1,
+            capacity: 1,
+        }
+    }
+
+    fn worker(cap: u32) -> Worker {
+        Worker {
+            id: WorkerId(0),
+            origin: VertexId(0),
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let rs = [req(1, 0, 1_000)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Pickup {
+                t: 100,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 200,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+        ];
+        assert!(audit_events(&rs, &ws, &evs, None).is_empty());
+    }
+
+    #[test]
+    fn catches_deadline_violation() {
+        let rs = [req(1, 0, 150)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Pickup {
+                t: 100,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 200,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+        ];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("after deadline"));
+    }
+
+    #[test]
+    fn catches_capacity_violation() {
+        let rs = [req(1, 0, 10_000), req(2, 0, 10_000)];
+        let ws = [worker(1)];
+        let evs = [
+            SimEvent::Assigned { t: 0, r: RequestId(1), w: WorkerId(0), delta: 1 },
+            SimEvent::Assigned { t: 0, r: RequestId(2), w: WorkerId(0), delta: 1 },
+            SimEvent::Pickup { t: 10, r: RequestId(1), w: WorkerId(0) },
+            SimEvent::Pickup { t: 20, r: RequestId(2), w: WorkerId(0) },
+            SimEvent::Delivery { t: 30, r: RequestId(1), w: WorkerId(0) },
+            SimEvent::Delivery { t: 40, r: RequestId(2), w: WorkerId(0) },
+        ];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("capacity exceeded")));
+    }
+
+    #[test]
+    fn catches_unfinished_assignment_and_missing_decision() {
+        let rs = [req(1, 0, 10_000), req(2, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [SimEvent::Assigned {
+            t: 0,
+            r: RequestId(1),
+            w: WorkerId(0),
+            delta: 1,
+        }];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("not completed")));
+        assert!(errs.iter().any(|e| e.contains("no decision")));
+    }
+
+    #[test]
+    fn catches_distance_mismatch() {
+        let rs: [Request; 0] = [];
+        let ws = [worker(4)];
+        let errs = audit_events(&rs, &ws, &[], Some((&[100], &[90])));
+        assert!(errs[0].contains("driven distance"));
+    }
+
+    #[test]
+    fn catches_rejected_with_stops() {
+        let rs = [req(1, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Rejected { t: 0, r: RequestId(1) },
+            SimEvent::Pickup { t: 5, r: RequestId(1), w: WorkerId(0) },
+        ];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("rejected but has stops")));
+    }
+}

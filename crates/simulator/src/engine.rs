@@ -1,0 +1,432 @@
+//! The simulation engine: replays a dynamic request stream against a
+//! planner, moving workers in between (§6.1's setup).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use road_network::oracle::DistanceOracle;
+use road_network::Cost;
+use urpsm_core::planner::Planner;
+use urpsm_core::platform::{Outcome, PlatformState};
+use urpsm_core::types::{Request, StopKind, Time, Worker, WorkerId};
+
+use crate::audit::audit_events;
+use crate::metrics::SimMetrics;
+use crate::motion::WorkerMotion;
+use crate::SimEvent;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Grid cell size in meters for the platform's worker index
+    /// (Table 5's `g`, which the paper quotes in km).
+    pub grid_cell_m: f64,
+    /// Unified-objective weight `α` used for the reported cost.
+    pub alpha: u64,
+    /// Whether workers finish their remaining stops after the last
+    /// request (needed for exact distance accounting).
+    pub drain: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            grid_cell_m: 2_000.0,
+            alpha: 1,
+            drain: true,
+        }
+    }
+}
+
+/// A prepared simulation: oracle + fleet + request stream.
+pub struct Simulation {
+    oracle: Arc<dyn DistanceOracle>,
+    workers: Vec<Worker>,
+    requests: Vec<Request>,
+    config: SimConfig,
+}
+
+/// Everything a finished run produces.
+pub struct SimOutcome {
+    /// Aggregate metrics (the figure panels).
+    pub metrics: SimMetrics,
+    /// The final platform state (routes drained if configured).
+    pub state: PlatformState,
+    /// The full event log.
+    pub events: Vec<SimEvent>,
+    /// Constraint violations found by the independent audit
+    /// (empty = clean run).
+    pub audit_errors: Vec<String>,
+}
+
+impl Simulation {
+    /// Builds a simulation. Requests must be sorted by release time.
+    ///
+    /// # Panics
+    /// If requests are not sorted by release time.
+    pub fn new(
+        oracle: Arc<dyn DistanceOracle>,
+        workers: Vec<Worker>,
+        requests: Vec<Request>,
+        config: SimConfig,
+    ) -> Self {
+        assert!(
+            requests.windows(2).all(|w| w[0].release <= w[1].release),
+            "requests must be sorted by release time"
+        );
+        Simulation {
+            oracle,
+            workers,
+            requests,
+            config,
+        }
+    }
+
+    /// Runs the stream against `planner` and returns metrics, the final
+    /// state, the event log and the audit verdict.
+    pub fn run(&self, planner: &mut dyn Planner) -> SimOutcome {
+        let start_time = self.requests.first().map_or(0, |r| r.release);
+        let mut state = PlatformState::new(
+            Arc::clone(&self.oracle),
+            &self.workers,
+            self.config.grid_cell_m,
+            start_time,
+        );
+        let mut motions: Vec<WorkerMotion> = vec![WorkerMotion::default(); self.workers.len()];
+        let mut events: Vec<SimEvent> = Vec::with_capacity(self.requests.len() * 4);
+        let mut planning_time = Duration::ZERO;
+        let mut served = 0usize;
+        let mut rejected = 0usize;
+
+        let record = |outs: Vec<(urpsm_core::types::RequestId, Outcome)>,
+                          t: Time,
+                          events: &mut Vec<SimEvent>,
+                          served: &mut usize,
+                          rejected: &mut usize| {
+            for (rid, out) in outs {
+                match out {
+                    Outcome::Assigned { worker, delta } => {
+                        *served += 1;
+                        events.push(SimEvent::Assigned {
+                            t,
+                            r: rid,
+                            w: worker,
+                            delta,
+                        });
+                    }
+                    Outcome::Rejected => {
+                        *rejected += 1;
+                        events.push(SimEvent::Rejected { t, r: rid });
+                    }
+                }
+            }
+        };
+
+        let advance_all = |state: &mut PlatformState,
+                           motions: &mut [WorkerMotion],
+                           t: Time,
+                           events: &mut Vec<SimEvent>,
+                           oracle: &dyn DistanceOracle| {
+            state.advance_clock(t);
+            for (i, m) in motions.iter_mut().enumerate() {
+                let w = WorkerId(i as u32);
+                m.advance(state, w, t, oracle, |stop, at| {
+                    events.push(match stop.kind {
+                        StopKind::Pickup => SimEvent::Pickup {
+                            t: at,
+                            r: stop.request,
+                            w,
+                        },
+                        StopKind::Delivery => SimEvent::Delivery {
+                            t: at,
+                            r: stop.request,
+                            w,
+                        },
+                    });
+                });
+            }
+        };
+
+        let mut last_time = start_time;
+        for r in &self.requests {
+            // Planner wake-ups (batch epochs) due before this request.
+            while let Some(tw) = planner.next_wakeup() {
+                if tw > r.release {
+                    break;
+                }
+                let tw = tw.max(last_time);
+                advance_all(&mut state, &mut motions, tw, &mut events, &*self.oracle);
+                let t0 = Instant::now();
+                let outs = planner.on_time(&mut state, tw);
+                planning_time += t0.elapsed();
+                record(outs, tw, &mut events, &mut served, &mut rejected);
+                last_time = tw;
+            }
+
+            advance_all(&mut state, &mut motions, r.release, &mut events, &*self.oracle);
+            last_time = r.release;
+            let t0 = Instant::now();
+            let outs = planner.on_request(&mut state, r);
+            planning_time += t0.elapsed();
+            record(outs, r.release, &mut events, &mut served, &mut rejected);
+        }
+
+        // Fire any wake-ups still pending after the last request (an
+        // open batch epoch ends at its boundary, not at stream end).
+        while let Some(tw) = planner.next_wakeup() {
+            let tw = tw.max(last_time);
+            advance_all(&mut state, &mut motions, tw, &mut events, &*self.oracle);
+            let t0 = Instant::now();
+            let outs = planner.on_time(&mut state, tw);
+            planning_time += t0.elapsed();
+            record(outs, tw, &mut events, &mut served, &mut rejected);
+            if planner.next_wakeup() == Some(tw) {
+                break; // planner did not advance its wakeup: stop looping
+            }
+            last_time = tw;
+        }
+
+        // Drain planner buffers (batch tail).
+        let t0 = Instant::now();
+        let outs = planner.flush(&mut state);
+        planning_time += t0.elapsed();
+        record(outs, last_time, &mut events, &mut served, &mut rejected);
+
+        // Let workers finish their routes.
+        if self.config.drain {
+            let horizon = self
+                .workers
+                .iter()
+                .map(|w| {
+                    let route = &state.agent(w.id).route;
+                    if route.is_empty() {
+                        route.start_time()
+                    } else {
+                        route.arr(route.len())
+                    }
+                })
+                .max()
+                .unwrap_or(last_time)
+                .max(last_time);
+            advance_all(&mut state, &mut motions, horizon, &mut events, &*self.oracle);
+        }
+
+        let driven: Vec<Cost> = motions.iter().map(|m| m.driven).collect();
+        let planned: Vec<Cost> = state.agents().iter().map(|a| a.assigned_distance).collect();
+        let audit_errors = audit_events(
+            &self.requests,
+            &self.workers,
+            &events,
+            if self.config.drain {
+                Some((&driven, &planned))
+            } else {
+                None
+            },
+        );
+
+        let metrics = SimMetrics {
+            requests: self.requests.len(),
+            served,
+            rejected,
+            unified_cost: state.unified_cost(self.config.alpha),
+            planning_time,
+            driven_distance: driven.iter().sum(),
+        };
+        SimOutcome {
+            metrics,
+            state,
+            events,
+            audit_errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::geo::Point;
+    use road_network::matrix::MatrixOracle;
+    use road_network::VertexId;
+    use urpsm_core::planner::{GreedyDp, PruneGreedyDp};
+    use urpsm_core::types::RequestId;
+
+    fn line_oracle(n: usize) -> Arc<dyn DistanceOracle> {
+        let mut b = road_network::builder::NetworkBuilder::new();
+        for i in 0..n {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        for i in 1..n as u32 {
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100).unwrap();
+        }
+        b.set_top_speed_mps(1.0);
+        Arc::new(MatrixOracle::from_network(&b.finish().unwrap()))
+    }
+
+    fn fleet(origins: &[u32]) -> Vec<Worker> {
+        origins
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Worker {
+                id: WorkerId(i as u32),
+                origin: VertexId(v),
+                capacity: 4,
+            })
+            .collect()
+    }
+
+    fn req(id: u32, o: u32, d: u32, release: Time, deadline: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release,
+            deadline,
+            penalty: 1_000_000,
+            capacity: 1,
+        }
+    }
+
+    #[test]
+    fn simple_run_is_clean_and_exact() {
+        let sim = Simulation::new(
+            line_oracle(50),
+            fleet(&[0, 40]),
+            vec![
+                req(0, 5, 10, 0, 100_000),
+                req(1, 38, 30, 1_000, 100_000),
+                req(2, 7, 12, 2_000, 100_000),
+            ],
+            SimConfig::default(),
+        );
+        let mut planner = PruneGreedyDp::new();
+        let out = sim.run(&mut planner);
+        assert_eq!(out.audit_errors, Vec::<String>::new());
+        assert_eq!(out.metrics.served, 3);
+        assert_eq!(out.metrics.rejected, 0);
+        assert_eq!(out.metrics.served_rate(), 1.0);
+        // Drained: driven == planned exactly.
+        assert_eq!(
+            out.metrics.driven_distance,
+            out.state.total_assigned_distance()
+        );
+    }
+
+    #[test]
+    fn impossible_requests_get_rejected_and_audited() {
+        let sim = Simulation::new(
+            line_oracle(50),
+            fleet(&[0]),
+            vec![req(0, 40, 45, 0, 500)], // unreachable in time
+            SimConfig::default(),
+        );
+        let mut planner = PruneGreedyDp::new();
+        let out = sim.run(&mut planner);
+        assert!(out.audit_errors.is_empty());
+        assert_eq!(out.metrics.rejected, 1);
+        assert_eq!(out.metrics.unified_cost.total_penalty, 1_000_000);
+    }
+
+    #[test]
+    fn greedy_and_prune_greedy_identical_end_to_end() {
+        let requests: Vec<Request> = (0..20)
+            .map(|i| {
+                let o = (i * 7) % 45;
+                let d = (o + 3 + (i % 5)) % 50;
+                req(i, o, d, u64::from(i) * 500, u64::from(i) * 500 + 50_000)
+            })
+            .collect();
+        let mk_sim = || {
+            Simulation::new(
+                line_oracle(50),
+                fleet(&[0, 10, 20, 30, 40]),
+                requests.clone(),
+                SimConfig::default(),
+            )
+        };
+        let mut g = GreedyDp::new();
+        let mut p = PruneGreedyDp::new();
+        let out_g = mk_sim().run(&mut g);
+        let out_p = mk_sim().run(&mut p);
+        assert!(out_g.audit_errors.is_empty());
+        assert!(out_p.audit_errors.is_empty());
+        // Lemma 8 must not change any outcome, only query counts.
+        assert_eq!(out_g.events, out_p.events);
+        assert_eq!(
+            out_g.metrics.unified_cost.value(),
+            out_p.metrics.unified_cost.value()
+        );
+    }
+
+    /// A planner that rejects everything but records exactly when the
+    /// engine wakes it, to pin the epoch contract batch planners rely on.
+    struct WakeupRecorder {
+        epoch: Time,
+        next: Option<Time>,
+        wakeups: Vec<Time>,
+        flushed: bool,
+    }
+
+    impl urpsm_core::planner::Planner for WakeupRecorder {
+        fn name(&self) -> &'static str {
+            "wakeup-recorder"
+        }
+        fn on_request(
+            &mut self,
+            state: &mut PlatformState,
+            r: &Request,
+        ) -> Vec<(RequestId, Outcome)> {
+            if self.next.is_none() {
+                self.next = Some(r.release + self.epoch);
+            }
+            state.reject(r);
+            vec![(r.id, Outcome::Rejected)]
+        }
+        fn on_time(&mut self, _state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+            self.wakeups.push(now);
+            self.next = None;
+            Vec::new()
+        }
+        fn flush(&mut self, _state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+            self.flushed = true;
+            Vec::new()
+        }
+        fn next_wakeup(&self) -> Option<Time> {
+            self.next
+        }
+    }
+
+    #[test]
+    fn engine_honors_planner_wakeups() {
+        let requests = vec![
+            req(0, 1, 2, 0, 100_000),
+            req(1, 2, 3, 100, 100_000),
+            req(2, 3, 4, 5_000, 100_000), // well past the first epoch
+        ];
+        let sim = Simulation::new(line_oracle(10), fleet(&[0]), requests, SimConfig::default());
+        let mut planner = WakeupRecorder {
+            epoch: 600,
+            next: None,
+            wakeups: Vec::new(),
+            flushed: false,
+        };
+        let out = sim.run(&mut planner);
+        // The first epoch (opened at t=0) must fire at exactly t=600 —
+        // before request 2's release at t=5000 — then a second epoch
+        // opens at 5000+600 and is woken before the stream drains.
+        assert_eq!(planner.wakeups, vec![600, 5_600]);
+        assert!(planner.flushed, "flush must be called at end of stream");
+        assert_eq!(out.metrics.rejected, 3);
+        assert!(out.audit_errors.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by release")]
+    fn unsorted_requests_rejected() {
+        let _ = Simulation::new(
+            line_oracle(10),
+            fleet(&[0]),
+            vec![req(0, 1, 2, 100, 200), req(1, 1, 2, 50, 200)],
+            SimConfig::default(),
+        );
+    }
+}

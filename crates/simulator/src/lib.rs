@@ -1,0 +1,76 @@
+//! Event-driven shared-mobility simulator (§6.1 "Implementation").
+//!
+//! The paper evaluates planners by replaying a day of taxi requests:
+//! requests arrive at their release times, workers drive their planned
+//! routes at road speeds, and the planner is consulted online. This
+//! crate is that harness:
+//!
+//! * [`engine`] — the event loop: advance workers, wake batch planners
+//!   at epoch boundaries, hand over each request, drain at the end.
+//! * [`motion`] — vertex-granular worker movement along expanded
+//!   shortest paths (the paper's workers are mid-route when new
+//!   requests arrive — Example 2's `l_0 = v1`).
+//! * [`metrics`] — unified cost, served rate and response time, the
+//!   three panels of every figure in §6.2.
+//! * [`audit`] — a post-hoc replay verifying that every constraint of
+//!   Def. 4 (precedence, deadline, capacity) and the URPSM invariable
+//!   constraint actually held, plus exact distance accounting.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod engine;
+pub mod metrics;
+pub mod motion;
+pub mod timeline;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::audit::audit_events;
+    pub use crate::engine::{SimConfig, SimOutcome, Simulation};
+    pub use crate::metrics::SimMetrics;
+    pub use crate::timeline::{Timeline, TimelineBucket};
+    pub use crate::SimEvent;
+}
+
+/// A timestamped event emitted by the simulation, consumed by the
+/// audit and by example binaries that want a narrative log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// The planner inserted request `r` into `w`'s route.
+    Assigned {
+        /// Decision time.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+        /// The chosen worker.
+        w: urpsm_core::types::WorkerId,
+        /// Increased distance `Δ*`.
+        delta: road_network::Cost,
+    },
+    /// The planner rejected request `r`.
+    Rejected {
+        /// Decision time.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+    },
+    /// Worker `w` picked up request `r`.
+    Pickup {
+        /// Arrival time at the pickup vertex.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+        /// The worker.
+        w: urpsm_core::types::WorkerId,
+    },
+    /// Worker `w` delivered request `r`.
+    Delivery {
+        /// Arrival time at the drop-off vertex.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+        /// The worker.
+        w: urpsm_core::types::WorkerId,
+    },
+}

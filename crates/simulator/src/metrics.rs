@@ -1,0 +1,96 @@
+//! Simulation metrics — the three panels of every figure in §6.2.
+
+use std::time::Duration;
+
+use road_network::Cost;
+use urpsm_core::objective::UnifiedCost;
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// Total number of requests replayed.
+    pub requests: usize,
+    /// Requests inserted into some route.
+    pub served: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// The unified cost (Eq. 1) at the configured `α`.
+    pub unified_cost: UnifiedCost,
+    /// Total wall-clock time spent inside the planner.
+    pub planning_time: Duration,
+    /// Total distance actually driven by all workers (equals the
+    /// planned distance after the drain; the audit asserts this).
+    pub driven_distance: Cost,
+}
+
+impl SimMetrics {
+    /// Served rate `|R⁺| / |R|`.
+    pub fn served_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.requests as f64
+    }
+
+    /// Mean wall-clock time to process a single request (the paper's
+    /// "response time").
+    pub fn response_time(&self) -> Duration {
+        if self.requests == 0 {
+            return Duration::ZERO;
+        }
+        self.planning_time / self.requests as u32
+    }
+}
+
+impl std::fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} served={} ({:.1}%) UC={} resp={:?}",
+            self.requests,
+            self.served,
+            self.served_rate() * 100.0,
+            self.unified_cost.value(),
+            self.response_time(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_response_time() {
+        let m = SimMetrics {
+            requests: 4,
+            served: 3,
+            rejected: 1,
+            unified_cost: UnifiedCost {
+                alpha: 1,
+                total_distance: 100,
+                total_penalty: 7,
+            },
+            planning_time: Duration::from_millis(8),
+            driven_distance: 100,
+        };
+        assert_eq!(m.served_rate(), 0.75);
+        assert_eq!(m.response_time(), Duration::from_millis(2));
+        assert_eq!(m.unified_cost.value(), 107);
+        assert!(m.to_string().contains("75.0%"));
+    }
+
+    #[test]
+    fn empty_run_is_defined() {
+        let m = SimMetrics {
+            requests: 0,
+            served: 0,
+            rejected: 0,
+            unified_cost: UnifiedCost::default(),
+            planning_time: Duration::ZERO,
+            driven_distance: 0,
+        };
+        assert_eq!(m.served_rate(), 0.0);
+        assert_eq!(m.response_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,251 @@
+//! Vertex-granular worker movement.
+//!
+//! Between stops a worker drives the shortest path; when the clock
+//! advances we snap the worker to the *next* path vertex it will reach
+//! (a vehicle mid-edge cannot turn around, so its effective replanning
+//! location is the edge head). This matches the paper's model — in
+//! Example 2, worker `w1`'s `l_0` is `v1`, an intermediate vertex of
+//! its path, at the moment a new request arrives.
+//!
+//! Each worker caches its expanded current leg; the cache is keyed on
+//! `(l_0, l_1, arr[1])` so any committed insertion that changes the
+//! first leg transparently forces a re-expansion.
+
+use road_network::oracle::DistanceOracle;
+use road_network::{Cost, VertexId};
+use urpsm_core::platform::PlatformState;
+use urpsm_core::types::{Time, WorkerId};
+
+/// Cached expansion of one worker's current leg.
+#[derive(Debug, Default, Clone)]
+pub struct WorkerMotion {
+    /// `(vertex, arrival time)` along the current leg, inclusive of
+    /// both endpoints. Empty = nothing cached.
+    path: Vec<(VertexId, Time)>,
+    /// Index of the last position the worker was snapped to.
+    cursor: usize,
+    /// Cache key: `(l_0 at expansion, l_1, arr[1])`.
+    key: (VertexId, VertexId, Time),
+    /// Total driven travel time (= distance) so far.
+    pub driven: Cost,
+}
+
+impl WorkerMotion {
+    /// Invalidates the cached leg (after a stop pop).
+    pub fn invalidate(&mut self) {
+        self.path.clear();
+        self.cursor = 0;
+    }
+
+    /// Expands the current leg of `w` if the cache is stale.
+    fn ensure_expanded(&mut self, state: &PlatformState, w: WorkerId, oracle: &dyn DistanceOracle) {
+        let route = &state.agent(w).route;
+        let key = (route.vertex(0), route.vertex(1), route.arr(1));
+        if !self.path.is_empty() && self.key == key {
+            return;
+        }
+        self.path.clear();
+        self.cursor = 0;
+        self.key = key;
+        let (from, to) = (route.vertex(0), route.vertex(1));
+        let t0 = route.start_time();
+        let verts = oracle
+            .shortest_path(from, to)
+            .unwrap_or_else(|| vec![from, to]);
+        let mut t = t0;
+        self.path.reserve(verts.len());
+        self.path.push((verts[0], t0));
+        for pair in verts.windows(2) {
+            t += oracle.dis(pair[0], pair[1]);
+            self.path.push((pair[1], t));
+        }
+        // Path timing must agree with the schedule's leg (both are
+        // shortest travel times between l_0 and l_1).
+        debug_assert_eq!(
+            self.path.last().expect("non-empty").1,
+            route.arr(1),
+            "expanded path time must equal leg travel time"
+        );
+    }
+
+    /// Moves worker `w` forward to time `t`.
+    ///
+    /// Pops every stop reached by `t` (returning them via `on_stop`),
+    /// then snaps the worker onto the next vertex of its current leg.
+    pub fn advance(
+        &mut self,
+        state: &mut PlatformState,
+        w: WorkerId,
+        t: Time,
+        oracle: &dyn DistanceOracle,
+        mut on_stop: impl FnMut(urpsm_core::types::Stop, Time),
+    ) {
+        loop {
+            let route = &state.agent(w).route;
+            if route.is_empty() {
+                if route.start_time() < t {
+                    state.retime_idle_worker(w, t);
+                }
+                return;
+            }
+            let arr1 = route.arr(1);
+            if arr1 <= t {
+                let prev_time = route.start_time();
+                let (stop, at) = state.pop_worker_stop(w);
+                self.driven += at - prev_time;
+                self.invalidate();
+                on_stop(stop, at);
+                continue;
+            }
+            // Mid-leg: snap to the next path vertex reached at ≥ t.
+            if route.start_time() >= t {
+                return; // already ahead of the clock
+            }
+            self.ensure_expanded(state, w, oracle);
+            let mut k = self.cursor;
+            while self.path[k].1 < t {
+                k += 1;
+            }
+            debug_assert!(k < self.path.len());
+            if k != self.cursor {
+                let (v, at) = self.path[k];
+                let prev_time = state.agent(w).route.start_time();
+                let first_leg = arr1 - at;
+                state.set_worker_position(w, v, at, Some(first_leg));
+                self.driven += at - prev_time;
+                self.cursor = k;
+                // Re-key so the position update doesn't look stale.
+                self.key = (v, self.key.1, self.key.2);
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::geo::Point;
+    use road_network::matrix::MatrixOracle;
+    use std::sync::Arc;
+    use urpsm_core::insertion::linear_dp_insertion;
+    use urpsm_core::types::{Request, RequestId, StopKind, Worker};
+
+    fn line_oracle(n: usize) -> Arc<MatrixOracle> {
+        let mut b = road_network::builder::NetworkBuilder::new();
+        for i in 0..n {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        for i in 1..n as u32 {
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100).unwrap();
+        }
+        b.set_top_speed_mps(1.0);
+        Arc::new(MatrixOracle::from_network(&b.finish().unwrap()))
+    }
+
+    fn setup() -> (PlatformState, Arc<MatrixOracle>) {
+        let oracle = line_oracle(30);
+        let ws = vec![Worker {
+            id: WorkerId(0),
+            origin: VertexId(0),
+            capacity: 4,
+        }];
+        let state = PlatformState::new(oracle.clone(), &ws, 5.0, 0);
+        (state, oracle)
+    }
+
+    fn assign(state: &mut PlatformState, id: u32, o: u32, d: u32) {
+        let r = Request {
+            id: RequestId(id),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release: state.now(),
+            deadline: 1_000_000,
+            penalty: 1,
+            capacity: 1,
+        };
+        let plan = linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle())
+            .expect("feasible");
+        state.commit(WorkerId(0), &r, &plan);
+    }
+
+    #[test]
+    fn advances_through_stops_and_mid_leg() {
+        let (mut state, oracle) = setup();
+        assign(&mut state, 1, 5, 10);
+        let mut motion = WorkerMotion::default();
+        let mut stops = Vec::new();
+
+        // t=250: mid-way to the pickup at vertex 5 (arr 500). The
+        // worker snaps to vertex 3 (reached at t=300).
+        motion.advance(&mut state, WorkerId(0), 250, &*oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert!(stops.is_empty());
+        let route = &state.agent(WorkerId(0)).route;
+        assert_eq!(route.vertex(0), VertexId(3));
+        assert_eq!(route.start_time(), 300);
+        assert_eq!(route.arr(1), 500, "pickup arrival unchanged");
+
+        // t=700: past the pickup (500), mid-way to the drop (1000).
+        motion.advance(&mut state, WorkerId(0), 700, &*oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert_eq!(stops.len(), 1);
+        assert_eq!(stops[0].0.kind, StopKind::Pickup);
+        assert_eq!(stops[0].1, 500);
+        let route = &state.agent(WorkerId(0)).route;
+        assert_eq!(route.vertex(0), VertexId(7)); // reached at 700
+
+        // t=2000: everything done; worker idles at the drop vertex.
+        motion.advance(&mut state, WorkerId(0), 2_000, &*oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert_eq!(stops.len(), 2);
+        assert_eq!(stops[1].0.kind, StopKind::Delivery);
+        assert_eq!(stops[1].1, 1_000);
+        let route = &state.agent(WorkerId(0)).route;
+        assert!(route.is_empty());
+        assert_eq!(route.start_time(), 2_000);
+        // Driven = 0→5→10 = 1000 travel units.
+        assert_eq!(motion.driven, 1_000);
+    }
+
+    #[test]
+    fn insertion_mid_leg_replans_from_snapped_vertex() {
+        let (mut state, oracle) = setup();
+        assign(&mut state, 1, 10, 20);
+        let mut motion = WorkerMotion::default();
+        motion.advance(&mut state, WorkerId(0), 450, &*oracle, |_, _| {});
+        // Snapped to vertex 5 at t=500.
+        assert_eq!(state.agent(WorkerId(0)).route.vertex(0), VertexId(5));
+
+        // New request picked up on the way (vertex 7).
+        assign(&mut state, 2, 7, 15);
+        let mut stops = Vec::new();
+        motion.advance(&mut state, WorkerId(0), 10_000, &*oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert_eq!(stops.len(), 4);
+        // Pickup r2 at 7 (t=700), pickup r1 at 10 (t=1000),
+        // deliver r2 at 15 (t=1500), deliver r1 at 20 (t=2000).
+        assert_eq!(stops[0].1, 700);
+        assert_eq!(stops[1].1, 1_000);
+        assert_eq!(stops[2].1, 1_500);
+        assert_eq!(stops[3].1, 2_000);
+        // Driven total: 0→…→20 = 2000, no detours on a line.
+        assert_eq!(motion.driven, 2_000);
+        assert_eq!(state.total_assigned_distance(), 2_000);
+    }
+
+    #[test]
+    fn idle_worker_just_retimes() {
+        let (mut state, oracle) = setup();
+        let mut motion = WorkerMotion::default();
+        motion.advance(&mut state, WorkerId(0), 777, &*oracle, |_, _| {});
+        let route = &state.agent(WorkerId(0)).route;
+        assert!(route.is_empty());
+        assert_eq!(route.start_time(), 777);
+        assert_eq!(motion.driven, 0);
+    }
+}

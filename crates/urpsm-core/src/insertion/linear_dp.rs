@@ -1,0 +1,427 @@
+//! Linear DP insertion (Algo. 3) — the paper's headline operator.
+//!
+//! Instead of enumerating all `O(n²)` pairs, only delivery positions
+//! `j` are enumerated. For each `j` the best feasible pickup `i < j` is
+//! available in `O(1)` from the rolling DP pair (Eq. 10–12):
+//!
+//! * `Dio[j] = min_{i<j} det(l_i, o_r, l_{i+1})` over pickups that are
+//!   still feasible w.r.t. capacity (Eq. 11 first case resets the DP
+//!   when the rider could no longer be on board across `j−1`) and
+//!   deadlines (second case drops candidates whose detour exceeds the
+//!   slack at their own position),
+//! * `Plc[j]` — the argmin, i.e. where that pickup goes.
+//!
+//! Lemma 6 makes this exact: if `Plc[j]` fails the pairing checks of
+//! Corollary 1, every other `i < j` fails too. Total cost: `O(n)` time
+//! and the `2n + 3` shortest-distance queries of Lemma 9 (`dis(o_r, ·)`
+//! and `dis(d_r, ·)` against every route location, plus
+//! `L = dis(o_r, d_r)`).
+//!
+//! Deviation from the listing (documented in DESIGN.md): line 8 of
+//! Algo. 3 prunes with `arr[j] + dis(o_r, e_r) > e_r`, a type-mangled
+//! condition. We break on `arr[j] + dis(l_j, d_r) > e_r`: every
+//! insertion not fully completed by position `j` moves the rider
+//! through `l_j` no earlier than `arr[j]` and then needs at least
+//! `dis(l_j, d_r)` more travel, so once the condition holds nothing
+//! later can be feasible.
+
+use road_network::oracle::DistanceOracle;
+use road_network::{cost_add, cost_add3, Cost, INF};
+
+use crate::route::{InsertionPlan, PlanShape, Route};
+use crate::types::Request;
+
+/// Reusable buffers for the `dis(o_r, l_k)` / `dis(d_r, l_k)` arrays,
+/// so the per-request hot path never allocates (perf-guide workhorse
+/// buffer pattern).
+#[derive(Debug, Default)]
+pub struct InsertionScratch {
+    dis_or: Vec<Cost>,
+    dis_dr: Vec<Cost>,
+}
+
+/// The DP state per delivery position, exposed for tests reproducing
+/// Table 3 of the paper and for teaching material.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearDpTrace {
+    /// `Dio[j]` for `j = 0..=n` (`Dio[0] = ∞`).
+    pub dio: Vec<Cost>,
+    /// `Plc[j]` for `j = 0..=n` (`None` encodes the paper's `NIL`).
+    pub plc: Vec<Option<usize>>,
+}
+
+/// Convenience wrapper over [`linear_dp_insertion_with`] that allocates
+/// fresh scratch buffers.
+pub fn linear_dp_insertion(
+    route: &Route,
+    worker_capacity: u32,
+    r: &Request,
+    oracle: &dyn DistanceOracle,
+) -> Option<InsertionPlan> {
+    let mut scratch = InsertionScratch::default();
+    run(&mut scratch, route, worker_capacity, r, oracle, None)
+}
+
+/// Linear DP insertion reusing caller-provided scratch buffers; this is
+/// what the planners call per candidate worker.
+pub fn linear_dp_insertion_with(
+    scratch: &mut InsertionScratch,
+    route: &Route,
+    worker_capacity: u32,
+    r: &Request,
+    oracle: &dyn DistanceOracle,
+) -> Option<InsertionPlan> {
+    run(scratch, route, worker_capacity, r, oracle, None)
+}
+
+/// Runs the operator while recording the `Dio`/`Plc` arrays (Table 3).
+pub fn linear_dp_trace(
+    route: &Route,
+    worker_capacity: u32,
+    r: &Request,
+    oracle: &dyn DistanceOracle,
+) -> (Option<InsertionPlan>, LinearDpTrace) {
+    let mut scratch = InsertionScratch::default();
+    let mut trace = LinearDpTrace::default();
+    let plan = run(&mut scratch, route, worker_capacity, r, oracle, Some(&mut trace));
+    (plan, trace)
+}
+
+const NIL: usize = usize::MAX;
+
+fn run(
+    scratch: &mut InsertionScratch,
+    route: &Route,
+    worker_capacity: u32,
+    r: &Request,
+    oracle: &dyn DistanceOracle,
+    mut trace: Option<&mut LinearDpTrace>,
+) -> Option<InsertionPlan> {
+    if r.capacity > worker_capacity {
+        return None;
+    }
+    let direct = oracle.dis(r.origin, r.destination);
+    if direct >= INF {
+        return None;
+    }
+    let n = route.len();
+    let free = worker_capacity - r.capacity;
+
+    // Lemma 9: precompute dis(o_r, l_k) and dis(d_r, l_k) for all k.
+    scratch.dis_or.clear();
+    scratch.dis_dr.clear();
+    scratch.dis_or.reserve(n + 1);
+    scratch.dis_dr.reserve(n + 1);
+    for k in 0..=n {
+        scratch.dis_or.push(oracle.dis(route.vertex(k), r.origin));
+        scratch
+            .dis_dr
+            .push(oracle.dis(route.vertex(k), r.destination));
+    }
+    let dis_or = &scratch.dis_or[..];
+    let dis_dr = &scratch.dis_dr[..];
+
+    let mut best: Option<(Cost, usize, usize)> = None;
+    let mut dio: Cost = INF;
+    let mut plc: usize = NIL;
+    if let Some(t) = trace.as_deref_mut() {
+        t.dio.clear();
+        t.plc.clear();
+        t.dio.push(INF);
+        t.plc.push(None);
+    }
+
+    for j in 0..=n {
+        // ── Line 4: the i = j special cases (Fig. 2a / Fig. 2b). ──
+        // Lemma 5 with i = j reduces to picked[j] ≤ K_w − K_r; Lemma 4
+        // (3) is the rider's own delivery deadline, which subsumes the
+        // pickup deadline.
+        if route.picked(j) <= free
+            && cost_add3(route.arr(j), dis_or[j], direct) <= r.deadline
+        {
+            let delta = if j == n {
+                cost_add(dis_or[j], direct)
+            } else {
+                cost_add3(dis_or[j], direct, dis_dr[j + 1]).saturating_sub(route.leg(j + 1))
+            };
+            // Lemma 4 (4).
+            if delta <= route.slack(j) && best.is_none_or(|(bd, ..)| delta < bd) {
+                best = Some((delta, j, j));
+            }
+        }
+
+        // ── Lines 5–7: the i < j case through Dio/Plc (Corollary 1). ──
+        if j > 0 && dio < INF && route.picked(j) <= free {
+            // Corollary 1 (2): the rider's delivery deadline.
+            if cost_add3(route.arr(j), dio, dis_dr[j]) <= r.deadline {
+                let det_j = if j == n {
+                    dis_dr[j]
+                } else {
+                    cost_add(dis_dr[j], dis_dr[j + 1]).saturating_sub(route.leg(j + 1))
+                };
+                let delta = cost_add(dio, det_j);
+                // Corollary 1 (3): stops after l_j tolerate the total detour.
+                if delta <= route.slack(j) && best.is_none_or(|(bd, ..)| delta < bd) {
+                    best = Some((delta, plc, j));
+                }
+            }
+        }
+
+        // ── Line 8: safe prune (see module docs). ──
+        if cost_add(route.arr(j), dis_dr[j]) > r.deadline {
+            break;
+        }
+
+        // ── Line 9: roll Dio/Plc forward (Eq. 11 / Eq. 12), letting
+        // candidate pickup position i = j enter for the next step. ──
+        if j < n {
+            if route.picked(j) > free {
+                // Capacity reset: no i ≤ j can keep the rider on board
+                // across position j.
+                dio = INF;
+                plc = NIL;
+            } else {
+                let det_cand =
+                    cost_add(dis_or[j], dis_or[j + 1]).saturating_sub(route.leg(j + 1));
+                // Candidate must respect the slack at its own position
+                // (Eq. 11, second case) and ties go to the newcomer
+                // (Eq. 12, fourth case).
+                if det_cand <= route.slack(j) && det_cand <= dio {
+                    dio = det_cand;
+                    plc = j;
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.dio.push(dio);
+                t.plc.push(if plc == NIL { None } else { Some(plc) });
+            }
+        }
+    }
+
+    best.map(|(delta, i, j)| {
+        let shape = if i == j && i == n {
+            PlanShape::Append {
+                dis_tail_pickup: dis_or[n],
+            }
+        } else if i == j {
+            PlanShape::Adjacent {
+                dis_prev_pickup: dis_or[i],
+                dis_delivery_next: dis_dr[i + 1],
+            }
+        } else {
+            PlanShape::Split {
+                dis_prev_pickup: dis_or[i],
+                dis_pickup_next: dis_or[i + 1],
+                dis_prev_delivery: dis_dr[j],
+                dis_delivery_next: if j < n { Some(dis_dr[j + 1]) } else { None },
+            }
+        };
+        InsertionPlan {
+            pickup_after: i,
+            delivery_after: j,
+            delta,
+            direct,
+            shape,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::{basic_insertion, naive_dp_insertion};
+    use crate::route::PlanShape;
+    use crate::types::{RequestId, Time};
+    use road_network::geo::Point;
+    use road_network::matrix::MatrixOracle;
+    use road_network::VertexId;
+
+    fn line_oracle(n: usize) -> MatrixOracle {
+        let rows: Vec<Vec<Cost>> = (0..n)
+            .map(|u| (0..n).map(|v| (u.abs_diff(v) as Cost) * 100).collect())
+            .collect();
+        let points = (0..n).map(|k| Point::new(k as f64 * 100.0, 0.0)).collect();
+        MatrixOracle::from_matrix(&rows, points, 1_000.0)
+    }
+
+    fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release: 0,
+            deadline,
+            penalty: 1,
+            capacity: 1,
+        }
+    }
+
+    #[test]
+    fn agrees_with_basic_and_naive_on_scripted_scenario() {
+        let oracle = line_oracle(30);
+        let mut route = Route::new(VertexId(0), 0);
+        let script = [
+            (1u32, 5u32, 15u32, 100_000u64),
+            (2, 6, 14, 100_000),
+            (3, 1, 3, 100_000),
+            (4, 20, 25, 100_000),
+            (5, 7, 13, 2_200),
+            (6, 2, 29, 100_000),
+            (7, 16, 18, 100_000),
+        ];
+        for (id, o, d, ddl) in script {
+            let r = request(id, o, d, ddl);
+            let pl = linear_dp_insertion(&route, 6, &r, &oracle);
+            assert_eq!(pl, basic_insertion(&route, 6, &r, &oracle), "vs basic at r{id}");
+            assert_eq!(pl, naive_dp_insertion(&route, 6, &r, &oracle), "vs naive at r{id}");
+            if let Some(p) = pl {
+                route.apply_insertion(&p, &r);
+                assert!(route.validate(6).is_ok());
+            }
+        }
+        assert!(!route.is_empty());
+    }
+
+    /// The worked Example 2 / Table 3 of the paper, end to end.
+    ///
+    /// Note: the example's distances are *not* a metric — they violate
+    /// the triangle inequality (`dis(v1,v3)=9 > dis(v1,v2)+dis(v2,v3)=8`),
+    /// which is impossible for shortest-path distances; see DESIGN.md.
+    /// The operator only relies on the arrays, so the published trace
+    /// is still reproduced exactly on the raw matrix.
+    #[test]
+    fn paper_example_2_table_3_golden() {
+        // Vertex ids 0..=7 are the paper's v1..=v8.
+        let mut m = vec![vec![20u64; 8]; 8];
+        for i in 0..8 {
+            m[i][i] = 0;
+        }
+        let mut set = |a: usize, b: usize, d: u64| {
+            m[a - 1][b - 1] = d;
+            m[b - 1][a - 1] = d;
+        };
+        set(1, 2, 1); // arr[1] = 5 + 1 = 6
+        set(2, 4, 10); // arr[2] = 6 + 10 = 16
+        set(1, 3, 9); // dis(v1, o_r2)
+        set(2, 3, 7); // dis(v2, o_r2)
+        set(3, 4, 8); // dis(o_r2, v4)
+        set(3, 5, 9); // L = dis(o_r2, d_r2)
+        set(2, 5, 8); // dis(d_r2, v2)
+        set(4, 5, 3); // dis(v4, d_r2)
+        set(1, 5, 9);
+        set(1, 4, 11);
+        let points = (0..8).map(|k| Point::new(f64::from(k), 0.0)).collect();
+        let oracle = MatrixOracle::from_matrix_unchecked(&m, points, 1_000.0);
+
+        // Worker w1 at v1 at time 5, already serving r1 = v2 → v4,
+        // deadline 23 (route assigned at time 0 from v7; by time 5 the
+        // worker is at v1, exactly the state of Example 2).
+        let mut route = Route::new(VertexId(0), 5);
+        let r1 = Request {
+            id: RequestId(1),
+            origin: VertexId(1),
+            destination: VertexId(3),
+            release: 0,
+            deadline: 23,
+            penalty: 20,
+            capacity: 1,
+        };
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 11,
+                direct: 10,
+                shape: PlanShape::Append { dis_tail_pickup: 1 },
+            },
+            &r1,
+        );
+
+        // Table 3, left half.
+        assert_eq!(route.ddl(0), road_network::INF);
+        assert_eq!(route.ddl(1), 13);
+        assert_eq!(route.ddl(2), 23);
+        assert_eq!((route.arr(0), route.arr(1), route.arr(2)), (5, 6, 16));
+        assert_eq!(
+            (route.picked(0), route.picked(1), route.picked(2)),
+            (0, 1, 0)
+        );
+        // Table 3, right half (slack).
+        assert_eq!(route.slack(0), 7);
+        assert_eq!(route.slack(1), 7);
+        assert_eq!(route.slack(2), road_network::INF);
+
+        // Insert r2 = v3 → v5, released at 5, deadline 26, K_w = 4.
+        let r2 = Request {
+            id: RequestId(2),
+            origin: VertexId(2),
+            destination: VertexId(4),
+            release: 5,
+            deadline: 26,
+            penalty: 10,
+            capacity: 1,
+        };
+        let (plan, trace) = linear_dp_trace(&route, 4, &r2, &oracle);
+        // Table 3: Dio = [∞, ∞, 5], Plc = [NIL, NIL, 1].
+        assert_eq!(trace.dio, vec![road_network::INF, road_network::INF, 5]);
+        assert_eq!(trace.plc, vec![None, None, Some(1)]);
+
+        // Δ* = 8, i* = Plc[2] = 1, j* = 2.
+        let plan = plan.expect("Example 2 finds a feasible insertion");
+        assert_eq!(plan.delta, 8);
+        assert_eq!(plan.pickup_after, 1);
+        assert_eq!(plan.delivery_after, 2);
+
+        // Final route ⟨v1, v2, v3, v4, v5⟩.
+        route.apply_insertion(&plan, &r2);
+        let seq: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0 + 1).collect();
+        assert_eq!(seq, vec![1, 2, 3, 4, 5]);
+        assert!(route.validate(4).is_ok());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let oracle = line_oracle(20);
+        let mut scratch = InsertionScratch::default();
+        let mut route = Route::new(VertexId(0), 0);
+        for (id, o, d) in [(1u32, 3u32, 9u32), (2, 4, 8), (3, 1, 19)] {
+            let r = request(id, o, d, 100_000);
+            let a = linear_dp_insertion(&route, 4, &r, &oracle);
+            let b = linear_dp_insertion_with(&mut scratch, &route, 4, &r, &oracle);
+            assert_eq!(a, b);
+            if let Some(p) = a {
+                route.apply_insertion(&p, &r);
+            }
+        }
+    }
+
+    #[test]
+    fn break_prunes_but_never_changes_result() {
+        // A route whose tail is far away: the deadline prune fires, and
+        // the result still matches the exhaustive operator.
+        let oracle = line_oracle(30);
+        let mut route = Route::new(VertexId(0), 0);
+        for (id, o, d) in [(1u32, 2u32, 4u32), (2, 10, 20), (3, 25, 29)] {
+            let r = request(id, o, d, 100_000);
+            let p = linear_dp_insertion(&route, 4, &r, &oracle).unwrap();
+            route.apply_insertion(&p, &r);
+        }
+        // Tight request near the start: only early positions feasible.
+        let r = request(4, 1, 3, 900);
+        assert_eq!(
+            linear_dp_insertion(&route, 4, &r, &oracle),
+            basic_insertion(&route, 4, &r, &oracle)
+        );
+    }
+
+    #[test]
+    fn infeasible_and_oversized() {
+        let oracle = line_oracle(10);
+        let route = Route::new(VertexId(0), 0);
+        let late = request(1, 2, 4, 100);
+        assert!(linear_dp_insertion(&route, 4, &late, &oracle).is_none());
+        let mut big = request(2, 1, 2, 100_000);
+        big.capacity = 7;
+        assert!(linear_dp_insertion(&route, 4, &big, &oracle).is_none());
+    }
+}

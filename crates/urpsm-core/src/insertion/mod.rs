@@ -1,0 +1,93 @@
+//! The insertion operator (Def. 6) in its three incarnations.
+//!
+//! Given a worker's current route `S_w` and a new request `r`, insertion
+//! finds the feasible placement of `(o_r, d_r)` that minimally increases
+//! the route's travel distance, preserving the order of existing stops:
+//!
+//! * [`basic::basic_insertion`] — the classic enumerate-and-check of
+//!   Jaw et al. (Algo. 1): `O(n²)` position pairs, each validated by an
+//!   `O(n)` re-simulation ⇒ `O(n³)` time (`O(n³)` distance queries).
+//! * [`naive_dp::naive_dp_insertion`] — Algo. 2: the schedule arrays
+//!   `arr/ddl/slack/picked` make the per-pair check `O(1)` ⇒ `O(n²)`.
+//! * [`linear_dp::linear_dp_insertion`] — Algo. 3, the paper's key
+//!   operator: for each delivery position `j`, the best pickup `i < j`
+//!   comes from the DP pair `Dio/Plc` in `O(1)` ⇒ `O(n)` time and
+//!   `2n + 3` distance queries (Lemma 9).
+//!
+//! All three return byte-identical [`InsertionPlan`]s (not merely equal
+//! costs): ties are broken the way Algo. 3 naturally does — smallest
+//! `Δ`, then smallest delivery position `j`, then the `i = j` shape,
+//! then the largest pickup position `i`. The property tests in
+//! `tests/insertion_equivalence.rs` assert this exactly.
+
+pub mod basic;
+pub mod linear_dp;
+pub mod naive_dp;
+
+pub use basic::basic_insertion;
+pub use linear_dp::{linear_dp_insertion, linear_dp_insertion_with, InsertionScratch, LinearDpTrace};
+pub use naive_dp::naive_dp_insertion;
+
+use road_network::oracle::DistanceOracle;
+use road_network::Cost;
+
+use crate::route::{InsertionPlan, PlanShape, Route};
+use crate::types::Request;
+
+/// Tie-breaking key: minimize `(Δ, j, i≠j, n−i)` lexicographically.
+///
+/// This is exactly the order in which Algo. 3 discovers candidates (the
+/// `i = j` special case of a given `j` is examined before the `i < j`
+/// case, and later entrants win ties inside `Dio`/`Plc`, Eq. 12), so
+/// using it in the basic and naive operators makes all three return the
+/// same plan, enabling exact cross-operator testing.
+pub(crate) type PlanKey = (Cost, usize, bool, usize);
+
+#[inline]
+pub(crate) fn plan_key(delta: Cost, i: usize, j: usize, n: usize) -> PlanKey {
+    (delta, j, i != j, n - i)
+}
+
+/// Builds an [`InsertionPlan`] for positions `(i, j)` by (re)querying
+/// the handful of leg distances the commit needs. Used by the basic and
+/// naive operators; the linear DP builds plans from its own arrays
+/// without extra queries.
+pub(crate) fn plan_from_positions(
+    route: &Route,
+    r: &Request,
+    i: usize,
+    j: usize,
+    delta: Cost,
+    direct: Cost,
+    oracle: &dyn DistanceOracle,
+) -> InsertionPlan {
+    let n = route.len();
+    let shape = if i == j && i == n {
+        PlanShape::Append {
+            dis_tail_pickup: oracle.dis(route.vertex(n), r.origin),
+        }
+    } else if i == j {
+        PlanShape::Adjacent {
+            dis_prev_pickup: oracle.dis(route.vertex(i), r.origin),
+            dis_delivery_next: oracle.dis(r.destination, route.vertex(i + 1)),
+        }
+    } else {
+        PlanShape::Split {
+            dis_prev_pickup: oracle.dis(route.vertex(i), r.origin),
+            dis_pickup_next: oracle.dis(r.origin, route.vertex(i + 1)),
+            dis_prev_delivery: oracle.dis(route.vertex(j), r.destination),
+            dis_delivery_next: if j < n {
+                Some(oracle.dis(r.destination, route.vertex(j + 1)))
+            } else {
+                None
+            },
+        }
+    };
+    InsertionPlan {
+        pickup_after: i,
+        delivery_after: j,
+        delta,
+        direct,
+        shape,
+    }
+}

@@ -1,0 +1,212 @@
+//! The Euclidean lower bound `LBΔ*` of §5.1 (Lemma 7, Eq. 15–17).
+//!
+//! The decision phase needs a cheap underestimate of each worker's
+//! minimal increased distance `Δ*`. Three substitutions make the linear
+//! DP scan free of road-network queries:
+//!
+//! * every detour term uses the Euclidean travel-time bound
+//!   `euc(·,·) ≤ dis(·,·)` (coordinate arithmetic only),
+//! * distances between *adjacent route stops* come from the stored leg
+//!   array (`leg[k] = arr[k] − arr[k−1]`, Lemma 7's auxiliary array),
+//! * the only real query is `L = dis(o_r, d_r)`, shared across all
+//!   candidate workers of the request (Algo. 4 line 1).
+//!
+//! Every feasibility check is *relaxed* (an `euc` underestimate can only
+//! widen the candidate set) and every candidate value underestimates the
+//! true `Δ_{i,j}`, so the returned value is a valid lower bound of `Δ*`;
+//! the property test `lb_never_exceeds_true_delta` pins this invariant.
+
+use road_network::oracle::DistanceOracle;
+use road_network::{cost_add, cost_add3, Cost, INF};
+
+use crate::route::Route;
+use crate::types::Request;
+
+/// Computes `LBΔ*` for inserting `r` into `route` (Eq. 17).
+///
+/// `direct` must be `L = dis(o_r, d_r)` — the caller queries it once
+/// per request and shares it across workers. Returns `None` when even
+/// the relaxed checks admit no placement (then no feasible insertion
+/// exists at all, so the worker can be skipped outright).
+pub fn insertion_lower_bound(
+    route: &Route,
+    worker_capacity: u32,
+    r: &Request,
+    direct: Cost,
+    oracle: &dyn DistanceOracle,
+) -> Option<Cost> {
+    if r.capacity > worker_capacity || direct >= INF {
+        return None;
+    }
+    let n = route.len();
+    let free = worker_capacity - r.capacity;
+
+    // Euclidean bounds against every route location — no dis() queries.
+    let mut best: Option<Cost> = None;
+    let mut dio: Cost = INF; // Dioeuc (Eq. 16)
+
+    // euc(l_k, o_r) / euc(l_k, d_r), computed on the fly per position;
+    // each is needed at most twice (as position k and as successor of
+    // k−1), so we keep a one-slot lookahead instead of full arrays.
+    let euc_or = |k: usize| oracle.euc(route.vertex(k), r.origin);
+    let euc_dr = |k: usize| oracle.euc(route.vertex(k), r.destination);
+
+    for j in 0..=n {
+        let e_or_j = euc_or(j);
+        let e_dr_j = euc_dr(j);
+
+        // i = j special cases (Eq. 15 rows 1–2, relaxed).
+        if route.picked(j) <= free && cost_add3(route.arr(j), e_or_j, direct) <= r.deadline {
+            let lb = if j == n {
+                cost_add(e_or_j, direct)
+            } else {
+                cost_add3(e_or_j, direct, euc_dr(j + 1)).saturating_sub(route.leg(j + 1))
+            };
+            if lb <= route.slack(j) && best.is_none_or(|b| lb < b) {
+                best = Some(lb);
+            }
+        }
+
+        // i < j through Dioeuc (Eq. 17 row 3, relaxed Corollary 1).
+        if j > 0 && dio < INF && route.picked(j) <= free
+            && cost_add3(route.arr(j), dio, e_dr_j) <= r.deadline {
+                let ldet_j = if j == n {
+                    e_dr_j
+                } else {
+                    cost_add(e_dr_j, euc_dr(j + 1)).saturating_sub(route.leg(j + 1))
+                };
+                let lb = cost_add(dio, ldet_j);
+                if lb <= route.slack(j) && best.is_none_or(|b| lb < b) {
+                    best = Some(lb);
+                }
+            }
+
+        // Relaxed safe prune (mirrors Algo. 3 line 8 with euc ≤ dis, so
+        // it fires no earlier than the exact prune would).
+        if cost_add(route.arr(j), e_dr_j) > r.deadline {
+            break;
+        }
+
+        // Roll Dioeuc forward (Eq. 16).
+        if j < n {
+            if route.picked(j) > free {
+                dio = INF;
+            } else {
+                let ldet = cost_add(e_or_j, euc_or(j + 1)).saturating_sub(route.leg(j + 1));
+                if ldet <= route.slack(j) && ldet <= dio {
+                    dio = ldet;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::linear_dp_insertion;
+    use crate::route::Route;
+    use crate::types::{RequestId, Time};
+    use road_network::geo::Point;
+    use road_network::matrix::MatrixOracle;
+    use road_network::oracle::DistanceOracle;
+    use road_network::VertexId;
+
+    /// Metric where road distances are 3× the Euclidean bound (grid-ish
+    /// detours), so the LB is strictly below Δ* and the machinery has
+    /// something real to underestimate.
+    fn detour_oracle(n: usize) -> MatrixOracle {
+        let rows: Vec<Vec<Cost>> = (0..n)
+            .map(|u| (0..n).map(|v| (u.abs_diff(v) as Cost) * 300).collect())
+            .collect();
+        // Points 100 m apart; top speed 1 m/s ⇒ euc = 100 cs per hop
+        // wait: euclidean_cost floors meters/speed*100.
+        let points = (0..n).map(|k| Point::new(k as f64, 0.0)).collect();
+        MatrixOracle::from_matrix(&rows, points, 1.0)
+    }
+
+    fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release: 0,
+            deadline,
+            penalty: 1,
+            capacity: 1,
+        }
+    }
+
+    #[test]
+    fn lb_never_exceeds_true_delta_scripted() {
+        let oracle = detour_oracle(30);
+        let mut route = Route::new(VertexId(0), 0);
+        for (id, o, d, ddl) in [
+            (1u32, 5u32, 15u32, 100_000u64),
+            (2, 6, 14, 100_000),
+            (3, 20, 25, 100_000),
+            (4, 1, 28, 100_000),
+        ] {
+            let r = request(id, o, d, ddl);
+            let direct = oracle.dis(r.origin, r.destination);
+            let lb = insertion_lower_bound(&route, 6, &r, direct, &oracle);
+            let plan = linear_dp_insertion(&route, 6, &r, &oracle);
+            if let Some(p) = &plan {
+                let lb = lb.expect("feasible insertion must have a lower bound");
+                assert!(lb <= p.delta, "LB {lb} > Δ* {} at r{id}", p.delta);
+                route.apply_insertion(p, &r);
+            }
+        }
+    }
+
+    #[test]
+    fn lb_zero_for_on_the_way_rides() {
+        let oracle = detour_oracle(30);
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = request(1, 0, 20, 100_000);
+        let direct = oracle.dis(r1.origin, r1.destination);
+        let p = linear_dp_insertion(&route, 4, &r1, &oracle).unwrap();
+        route.apply_insertion(&p, &r1);
+        // Perfectly nested ride: true Δ* is 0, so LB must be 0 too.
+        let r2 = request(2, 5, 15, 100_000);
+        let direct2 = oracle.dis(r2.origin, r2.destination);
+        let lb = insertion_lower_bound(&route, 4, &r2, direct2, &oracle).unwrap();
+        assert_eq!(lb, 0);
+        let _ = direct;
+    }
+
+    #[test]
+    fn infeasible_by_deadline_returns_none() {
+        let oracle = detour_oracle(10);
+        let route = Route::new(VertexId(0), 1_000);
+        // Even the euclidean relaxation can't deliver by t=1000.
+        let r = request(1, 5, 9, 1_010);
+        let direct = oracle.dis(r.origin, r.destination);
+        assert!(insertion_lower_bound(&route, 4, &r, direct, &oracle).is_none());
+    }
+
+    #[test]
+    fn oversized_request_returns_none() {
+        let oracle = detour_oracle(10);
+        let route = Route::new(VertexId(0), 0);
+        let mut r = request(1, 1, 2, 100_000);
+        r.capacity = 9;
+        let direct = oracle.dis(r.origin, r.destination);
+        assert!(insertion_lower_bound(&route, 4, &r, direct, &oracle).is_none());
+    }
+
+    #[test]
+    fn lb_uses_single_shared_direct_query() {
+        // The function signature takes `direct` by value — this test
+        // documents that no additional dis() query is made: we hand it
+        // a CountingOracle and expect zero dis traffic.
+        use road_network::oracle::CountingOracle;
+        let oracle = CountingOracle::new(detour_oracle(20));
+        let route = Route::new(VertexId(0), 0);
+        let r = request(1, 5, 9, 100_000);
+        let _ = insertion_lower_bound(&route, 4, &r, 1_200, &oracle).unwrap();
+        assert_eq!(oracle.stats().dis, 0, "LB must not issue dis() queries");
+        assert!(oracle.stats().euc > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The planner abstraction and the paper's two solutions.
+//!
+//! A [`Planner`] receives dynamically released requests one at a time
+//! (the online setting of §2) and must immediately and irrevocably
+//! either insert each into some worker's route or reject it. The two
+//! planners here are the paper's:
+//!
+//! * [`GreedyDp`] — decision phase (Algo. 4) + exhaustive planning
+//!   phase: evaluate the exact linear-DP insertion for *every*
+//!   candidate worker, pick the minimum.
+//! * [`PruneGreedyDp`] — Algo. 5: identical, but scans workers in
+//!   ascending `LBΔ*` order and stops as soon as the best exact `Δ*`
+//!   found so far is strictly below the next worker's lower bound
+//!   (Lemma 8) — same result, a fraction of the distance queries.
+//!
+//! The three baselines of §6 (`tshare`, `kinetic`, `batch`) implement
+//! the same trait in the `urpsm-baselines` crate.
+
+mod greedy;
+
+pub use greedy::{GreedyDp, PruneGreedyDp};
+
+use crate::platform::{Outcome, PlatformState};
+use crate::types::{Request, RequestId, Time};
+
+/// Shared planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// The unified-objective weight `α` (Eq. 1). The experiments of
+    /// §6.1 fix `α = 1`.
+    pub alpha: u64,
+    /// Extension (not in the paper, see DESIGN.md): when `true`, a
+    /// request is also rejected at *planning* time if the exact cost
+    /// `α · Δ*` exceeds its penalty — the paper only applies the
+    /// economic test to the lower bound in the decision phase.
+    pub strict_economics: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            alpha: 1,
+            strict_economics: false,
+        }
+    }
+}
+
+/// An online route planner for shared mobility.
+pub trait Planner {
+    /// Human-readable algorithm name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Handles a newly released request. May return outcomes for this
+    /// request and/or buffered earlier ones (batch planners defer).
+    fn on_request(
+        &mut self,
+        state: &mut PlatformState,
+        r: &Request,
+    ) -> Vec<(RequestId, Outcome)>;
+
+    /// Notifies the planner that simulation time advanced to `now`
+    /// (batch planners flush epochs here). Default: no-op.
+    fn on_time(&mut self, _state: &mut PlatformState, _now: Time) -> Vec<(RequestId, Outcome)> {
+        Vec::new()
+    }
+
+    /// Called once after the final request; planners with buffers must
+    /// drain them. Default: no-op.
+    fn flush(&mut self, _state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+        Vec::new()
+    }
+
+    /// The next time this planner wants an [`Planner::on_time`] call
+    /// even if no request arrives (batch planners return their epoch
+    /// boundary). Default: never.
+    fn next_wakeup(&self) -> Option<Time> {
+        None
+    }
+}
+
+impl<P: Planner + ?Sized> Planner for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+        (**self).on_request(state, r)
+    }
+    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+        (**self).on_time(state, now)
+    }
+    fn flush(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+        (**self).flush(state)
+    }
+    fn next_wakeup(&self) -> Option<Time> {
+        (**self).next_wakeup()
+    }
+}

@@ -1,0 +1,468 @@
+//! The shared mutable world that planners operate on.
+//!
+//! [`PlatformState`] owns the workers, their routes, and the uniform
+//! grid index over worker positions (Algo. 5 line 1 "build grid index").
+//! Planners read candidate workers from it and commit insertions /
+//! rejections through it; the simulator advances worker positions
+//! through it. Keeping all mutation behind these methods maintains the
+//! two URPSM constraints by construction:
+//!
+//! * **feasibility** — [`PlatformState::commit`] only splices plans that
+//!   came out of an insertion operator, and debug builds re-validate the
+//!   route after every commit;
+//! * **invariability** — there is no API to un-reject a request or to
+//!   drop a committed stop other than by completing it.
+
+use std::sync::Arc;
+
+use road_network::grid::{GridIndex, SortedCellGrid};
+use road_network::oracle::DistanceOracle;
+use road_network::{Cost, VertexId};
+
+use crate::objective::UnifiedCost;
+use crate::route::{InsertionPlan, Route};
+use crate::types::{Request, RequestId, Stop, Time, Worker, WorkerId};
+
+/// A worker together with its live route and accounting.
+#[derive(Debug, Clone)]
+pub struct WorkerAgent {
+    /// The static worker description.
+    pub worker: Worker,
+    /// The current route (already-passed stops are popped).
+    pub route: Route,
+    /// Σ of committed insertion deltas — equals the final `D(S_w)` once
+    /// the route is fully driven, since every insertion grows the
+    /// planned distance by exactly its `Δ`.
+    pub assigned_distance: Cost,
+    /// Requests assigned to this worker, in commit order.
+    pub assigned_requests: Vec<RequestId>,
+}
+
+/// Per-request outcome reported by planners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request was inserted into `worker`'s route at cost `delta`.
+    Assigned {
+        /// The chosen worker.
+        worker: WorkerId,
+        /// The increased distance `Δ*`.
+        delta: Cost,
+    },
+    /// The request was rejected (penalty `p_r` accrues).
+    Rejected,
+}
+
+/// The platform: workers, routes, grid index and cost accounting.
+pub struct PlatformState {
+    now: Time,
+    oracle: Arc<dyn DistanceOracle>,
+    agents: Vec<WorkerAgent>,
+    grid: GridIndex,
+    /// T-Share's sorted-cell index, built on demand (only the `tshare`
+    /// baseline pays its `O(C²)` memory — Fig. 5's memory panel).
+    sorted_grid: Option<SortedCellGrid>,
+    rejected: Vec<(RequestId, Cost)>,
+    served: usize,
+    /// Scratch buffer for grid queries (avoids per-request allocation).
+    grid_scratch: Vec<u64>,
+}
+
+impl PlatformState {
+    /// Creates a platform at time `start_time` with every worker parked
+    /// at its initial location. `grid_cell_m` is the grid size `g` of
+    /// Table 5 (in meters here).
+    pub fn new(
+        oracle: Arc<dyn DistanceOracle>,
+        workers: &[Worker],
+        grid_cell_m: f64,
+        start_time: Time,
+    ) -> Self {
+        let bbox = road_network::geo::BoundingBox::around(
+            (0..oracle.num_vertices()).map(|i| oracle.point(VertexId(i as u32))),
+        );
+        let mut grid = GridIndex::new(bbox, grid_cell_m);
+        let agents: Vec<WorkerAgent> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                assert_eq!(w.id.idx(), i, "workers must be densely indexed by id");
+                grid.upsert(u64::from(w.id.0), oracle.point(w.origin));
+                WorkerAgent {
+                    worker: *w,
+                    route: Route::new(w.origin, start_time),
+                    assigned_distance: 0,
+                    assigned_requests: Vec::new(),
+                }
+            })
+            .collect();
+        PlatformState {
+            now: start_time,
+            oracle,
+            agents,
+            grid,
+            sorted_grid: None,
+            rejected: Vec::new(),
+            served: 0,
+            grid_scratch: Vec::new(),
+        }
+    }
+
+    /// Builds the T-Share sorted-cell index with cell size `cell_m`
+    /// (idempotent). Worker positions are mirrored into it from then
+    /// on; see [`SortedCellGrid`] for the memory implications.
+    pub fn enable_sorted_grid(&mut self, cell_m: f64) {
+        if self.sorted_grid.is_some() {
+            return;
+        }
+        let bbox = road_network::geo::BoundingBox::around(
+            (0..self.oracle.num_vertices()).map(|i| self.oracle.point(VertexId(i as u32))),
+        );
+        let mut sg = SortedCellGrid::new(bbox, cell_m);
+        for a in &self.agents {
+            sg.grid_mut().upsert(
+                u64::from(a.worker.id.0),
+                self.oracle.point(a.route.start_vertex()),
+            );
+        }
+        self.sorted_grid = Some(sg);
+    }
+
+    /// The T-Share index, if enabled.
+    pub fn sorted_grid(&self) -> Option<&SortedCellGrid> {
+        self.sorted_grid.as_ref()
+    }
+
+    /// Current platform time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances the platform clock (monotone).
+    pub fn advance_clock(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "clock must be monotone");
+        self.now = t;
+    }
+
+    /// The distance oracle.
+    #[inline]
+    pub fn oracle(&self) -> &dyn DistanceOracle {
+        &*self.oracle
+    }
+
+    /// The shared oracle handle.
+    pub fn oracle_arc(&self) -> Arc<dyn DistanceOracle> {
+        Arc::clone(&self.oracle)
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Read access to a worker agent.
+    #[inline]
+    pub fn agent(&self, w: WorkerId) -> &WorkerAgent {
+        &self.agents[w.idx()]
+    }
+
+    /// All agents.
+    pub fn agents(&self) -> &[WorkerAgent] {
+        &self.agents
+    }
+
+    /// Grid-index memory estimate (Fig. 5's memory panel).
+    pub fn grid_mem_bytes(&self) -> usize {
+        self.grid.mem_bytes()
+    }
+
+    /// Shortlists workers that could possibly pick `r` up before its
+    /// pickup deadline (Algo. 5 line 3): straight-line reachability at
+    /// the network's top speed — a *safe* filter, since no worker can
+    /// beat a straight line at top speed.
+    ///
+    /// `direct` is `L = dis(o_r, d_r)`. Results are sorted by worker id
+    /// for determinism.
+    pub fn candidate_workers(&mut self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
+        out.clear();
+        let pickup_ddl = r.deadline.saturating_sub(direct);
+        let budget_cs = pickup_ddl.saturating_sub(self.now);
+        // centiseconds → meters at top speed.
+        let radius_m = (budget_cs as f64 / 100.0) * self.oracle.top_speed_mps();
+        let origin = self.oracle.point(r.origin);
+        let mut scratch = std::mem::take(&mut self.grid_scratch);
+        self.grid.items_within(origin, radius_m, &mut scratch);
+        out.extend(scratch.iter().map(|&id| WorkerId(id as u32)));
+        self.grid_scratch = scratch;
+        out.sort_unstable();
+    }
+
+    /// Commits an insertion plan: splices the stops into the worker's
+    /// route and updates the cost accounting.
+    pub fn commit(&mut self, w: WorkerId, r: &Request, plan: &InsertionPlan) {
+        let agent = &mut self.agents[w.idx()];
+        agent.route.apply_insertion(plan, r);
+        debug_assert_eq!(
+            agent.route.validate(agent.worker.capacity),
+            Ok(()),
+            "commit must preserve feasibility"
+        );
+        agent.assigned_distance += plan.delta;
+        agent.assigned_requests.push(r.id);
+        self.served += 1;
+    }
+
+    /// Commits a *re-ordered* route for `w` that additionally serves
+    /// `r` — the kinetic-tree baseline may permute pending stops, which
+    /// plain insertion cannot express. `stops`/`legs` are the new tail
+    /// (see [`Route::replace_tail`]); `delta` is the growth of the
+    /// planned distance.
+    ///
+    /// Debug builds verify the invariability constraint: every request
+    /// previously on the route must still be on it.
+    pub fn commit_reordered(
+        &mut self,
+        w: WorkerId,
+        r: &Request,
+        stops: Vec<Stop>,
+        legs: Vec<Cost>,
+        delta: Cost,
+    ) {
+        let agent = &mut self.agents[w.idx()];
+        #[cfg(debug_assertions)]
+        let before: std::collections::BTreeSet<(RequestId, crate::types::StopKind)> = agent
+            .route
+            .stops()
+            .iter()
+            .map(|s| (s.request, s.kind))
+            .collect();
+        #[cfg(debug_assertions)]
+        let old_remaining = agent.route.remaining_distance();
+        agent.route.replace_tail(stops, legs);
+        #[cfg(debug_assertions)]
+        {
+            let after: std::collections::BTreeSet<(RequestId, crate::types::StopKind)> = agent
+                .route
+                .stops()
+                .iter()
+                .map(|s| (s.request, s.kind))
+                .collect();
+            for key in &before {
+                assert!(after.contains(key), "reorder dropped committed stop {key:?}");
+            }
+            assert!(
+                after.contains(&(r.id, crate::types::StopKind::Delivery)),
+                "reorder must serve the new request"
+            );
+            assert_eq!(
+                agent.route.remaining_distance(),
+                old_remaining + delta,
+                "delta must match the planned-distance growth"
+            );
+            assert_eq!(agent.route.validate(agent.worker.capacity), Ok(()));
+        }
+        agent.assigned_distance += delta;
+        agent.assigned_requests.push(r.id);
+        self.served += 1;
+    }
+
+    /// Records a rejection (irrevocable; the penalty accrues).
+    pub fn reject(&mut self, r: &Request) {
+        self.rejected.push((r.id, r.penalty));
+    }
+
+    /// Number of served (assigned) requests so far.
+    #[inline]
+    pub fn served_count(&self) -> usize {
+        self.served
+    }
+
+    /// Number of rejected requests so far.
+    #[inline]
+    pub fn rejected_count(&self) -> usize {
+        self.rejected.len()
+    }
+
+    /// Ids and penalties of rejected requests.
+    pub fn rejected(&self) -> &[(RequestId, Cost)] {
+        &self.rejected
+    }
+
+    /// Σ over workers of committed insertion deltas.
+    pub fn total_assigned_distance(&self) -> Cost {
+        self.agents.iter().map(|a| a.assigned_distance).sum()
+    }
+
+    /// The unified cost (Eq. 1) at weight `alpha`.
+    pub fn unified_cost(&self, alpha: u64) -> UnifiedCost {
+        UnifiedCost {
+            alpha,
+            total_distance: self.total_assigned_distance(),
+            total_penalty: self.rejected.iter().map(|(_, p)| *p).sum(),
+        }
+    }
+
+    // ── Movement API (driven by the simulator) ───────────────────────
+
+    /// Moves a worker to vertex `v`, arriving at `time`;
+    /// `first_leg` must be `dis(v, l_1)` when the route is non-empty.
+    pub fn set_worker_position(
+        &mut self,
+        w: WorkerId,
+        v: VertexId,
+        time: Time,
+        first_leg: Option<Cost>,
+    ) {
+        let agent = &mut self.agents[w.idx()];
+        agent.route.set_start(v, time, first_leg);
+        let p = self.oracle.point(v);
+        self.grid.upsert(u64::from(w.0), p);
+        if let Some(sg) = self.sorted_grid.as_mut() {
+            sg.grid_mut().upsert(u64::from(w.0), p);
+        }
+    }
+
+    /// Re-times an idle worker to `time` without moving it.
+    pub fn retime_idle_worker(&mut self, w: WorkerId, time: Time) {
+        debug_assert!(self.agents[w.idx()].route.is_empty());
+        self.agents[w.idx()].route.set_start_time(time);
+    }
+
+    /// Pops the first stop of `w`'s route (the worker reached it); the
+    /// grid position follows. Returns the stop and its arrival time.
+    pub fn pop_worker_stop(&mut self, w: WorkerId) -> (Stop, Time) {
+        let agent = &mut self.agents[w.idx()];
+        let (stop, at) = agent.route.pop_front_stop();
+        let p = self.oracle.point(stop.vertex);
+        self.grid.upsert(u64::from(w.0), p);
+        if let Some(sg) = self.sorted_grid.as_mut() {
+            sg.grid_mut().upsert(u64::from(w.0), p);
+        }
+        (stop, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::linear_dp_insertion;
+    use road_network::geo::Point;
+    use road_network::matrix::MatrixOracle;
+
+    fn line_oracle(n: usize) -> Arc<dyn DistanceOracle> {
+        let rows: Vec<Vec<Cost>> = (0..n)
+            .map(|u| (0..n).map(|v| (u.abs_diff(v) as Cost) * 100).collect())
+            .collect();
+        // 1 m apart, top speed 1 m/s ⇒ euc(u,v) = |u−v|·100 = dis.
+        let points = (0..n).map(|k| Point::new(k as f64, 0.0)).collect();
+        Arc::new(MatrixOracle::from_matrix(&rows, points, 1.0))
+    }
+
+    fn workers(n: u32, origin: u32, cap: u32) -> Vec<Worker> {
+        (0..n)
+            .map(|i| Worker {
+                id: WorkerId(i),
+                origin: VertexId(origin + i),
+                capacity: cap,
+            })
+            .collect()
+    }
+
+    fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release: 0,
+            deadline,
+            penalty: 100,
+            capacity: 1,
+        }
+    }
+
+    #[test]
+    fn candidate_filter_respects_pickup_reachability() {
+        let oracle = line_oracle(100);
+        let ws = workers(3, 0, 4); // workers at vertices 0, 1, 2
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        // Pickup at vertex 50, deadline leaves 10s of pickup budget at
+        // 1 m/s ⇒ 10 m radius: no worker is within 10 m of x=50.
+        let r = request(1, 50, 52, 1_200); // L = 200 cs; pickup ddl = 1000 cs = 10 s
+        let mut out = Vec::new();
+        state.candidate_workers(&r, 200, &mut out);
+        assert!(out.is_empty());
+        // Generous deadline: everyone is a candidate, sorted by id.
+        let r = request(2, 50, 52, 100_000);
+        state.candidate_workers(&r, 200, &mut out);
+        assert_eq!(out, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn commit_updates_accounting_and_route() {
+        let oracle = line_oracle(30);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r = request(1, 5, 10, 100_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r, &plan);
+        assert_eq!(state.served_count(), 1);
+        assert_eq!(state.total_assigned_distance(), 1_000); // 0→5→10
+        assert_eq!(state.agent(WorkerId(0)).route.len(), 2);
+        assert_eq!(
+            state.agent(WorkerId(0)).assigned_requests,
+            vec![RequestId(1)]
+        );
+
+        state.reject(&request(2, 1, 2, 10));
+        let uc = state.unified_cost(1);
+        assert_eq!(uc.total_distance, 1_000);
+        assert_eq!(uc.total_penalty, 100);
+        assert_eq!(uc.value(), 1_100);
+    }
+
+    #[test]
+    fn movement_updates_grid_candidates() {
+        let oracle = line_oracle(100);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 5.0, 0);
+        let mut out = Vec::new();
+        // Tight budget near vertex 90: worker at 0 not a candidate.
+        let r = request(1, 90, 92, state.now() + 200 + 500); // 5 s pickup budget
+        state.candidate_workers(&r, 200, &mut out);
+        assert!(out.is_empty());
+        // Teleport the worker to vertex 89 (simulating movement).
+        state.set_worker_position(WorkerId(0), VertexId(89), 100, None);
+        state.candidate_workers(&r, 200, &mut out);
+        assert_eq!(out, vec![WorkerId(0)]);
+    }
+
+    #[test]
+    fn pop_stop_moves_worker_and_load() {
+        let oracle = line_oracle(30);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r = request(1, 5, 10, 100_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r, &plan);
+        let (stop, at) = state.pop_worker_stop(WorkerId(0));
+        assert_eq!(stop.vertex, VertexId(5));
+        assert_eq!(at, 500);
+        assert_eq!(state.agent(WorkerId(0)).route.onboard(), 1);
+        assert_eq!(state.agent(WorkerId(0)).route.start_vertex(), VertexId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "densely indexed")]
+    fn worker_ids_must_be_dense() {
+        let oracle = line_oracle(10);
+        let ws = vec![Worker {
+            id: WorkerId(5),
+            origin: VertexId(0),
+            capacity: 4,
+        }];
+        let _ = PlatformState::new(oracle, &ws, 10.0, 0);
+    }
+}

@@ -1,0 +1,737 @@
+//! Worker routes with the auxiliary schedule arrays of §4.3.
+//!
+//! A [`Route`] is the paper's `S_w = ⟨l_0, l_1, …, l_n⟩`: the worker's
+//! current location `l_0` followed by an ordered sequence of pickup and
+//! delivery stops. Alongside the stops it maintains exactly the arrays
+//! the DP insertion needs:
+//!
+//! * `arr[k]` — arrival time at `l_k` (Eq. 7),
+//! * `ddl[k]` — latest feasible arrival at `l_k` (Eq. 6; `∞` for `l_0`),
+//! * `slack[k]` — tolerable detour between `l_k` and `l_{k+1}` (Eq. 8;
+//!   `slack[n] = ∞`),
+//! * `picked[k]` — passengers/items on board after `l_k` (Eq. 9),
+//! * `leg[k]` — `dis(l_{k-1}, l_k)`, the auxiliary distance array noted
+//!   in Lemma 7, so schedules rebuild without new shortest-distance
+//!   queries.
+//!
+//! Speculative insertion *planning* never mutates a route; a chosen
+//! [`InsertionPlan`] is applied with [`Route::apply_insertion`], which
+//! splices the two stops and rebuilds the arrays in `O(n)`.
+
+use road_network::{cost_add, Cost, VertexId, INF};
+
+use crate::types::{Request, RequestId, Stop, StopKind, Time};
+
+/// How the two new stops sit in the old route; carries the leg costs the
+/// commit needs so no shortest-distance query is repeated (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// `i = j = n` (Fig. 2a): append `… l_n → o_r → d_r`.
+    Append {
+        /// `dis(l_n, o_r)`.
+        dis_tail_pickup: Cost,
+    },
+    /// `i = j < n` (Fig. 2b): splice `l_i → o_r → d_r → l_{i+1}`.
+    Adjacent {
+        /// `dis(l_i, o_r)`.
+        dis_prev_pickup: Cost,
+        /// `dis(d_r, l_{i+1})`.
+        dis_delivery_next: Cost,
+    },
+    /// `i < j` (Fig. 2c): pickup between `l_i, l_{i+1}`, delivery
+    /// between `l_j, l_{j+1}` (or appended when `j = n`).
+    Split {
+        /// `dis(l_i, o_r)`.
+        dis_prev_pickup: Cost,
+        /// `dis(o_r, l_{i+1})`.
+        dis_pickup_next: Cost,
+        /// `dis(l_j, d_r)`.
+        dis_prev_delivery: Cost,
+        /// `dis(d_r, l_{j+1})`; `None` when the delivery is appended.
+        dis_delivery_next: Option<Cost>,
+    },
+}
+
+/// The result of an insertion operator: where to put `o_r` and `d_r`
+/// and what it costs (Def. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertionPlan {
+    /// Position `i`: `o_r` goes right after `l_i` (`0 ≤ i ≤ n`).
+    pub pickup_after: usize,
+    /// Position `j`: `d_r` goes right after `l_j` (`i ≤ j ≤ n`,
+    /// interpreted in the *original* indexing; `i = j` puts `d_r`
+    /// immediately after `o_r`).
+    pub delivery_after: usize,
+    /// The increased distance `Δ*` (Eq. 5).
+    pub delta: Cost,
+    /// `L = dis(o_r, d_r)`, the one query every operator shares.
+    pub direct: Cost,
+    /// Leg costs needed to commit without re-querying.
+    pub shape: PlanShape,
+}
+
+/// A worker's route plus its schedule arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    start_vertex: VertexId,
+    /// `arr[0]`: the time the worker is (or will be) at `start_vertex`.
+    start_time: Time,
+    /// `picked[0]`: passengers/items currently on board.
+    initial_load: u32,
+    stops: Vec<Stop>,
+    arr: Vec<Time>,
+    slack: Vec<Cost>,
+    picked: Vec<u32>,
+    /// `leg[k] = dis(l_{k-1}, l_k)` for `k ≥ 1`; `leg[0] = 0`.
+    leg: Vec<Cost>,
+}
+
+impl Route {
+    /// An empty route for a worker standing at `start` at `time`.
+    pub fn new(start: VertexId, time: Time) -> Self {
+        Route {
+            start_vertex: start,
+            start_time: time,
+            initial_load: 0,
+            stops: Vec::new(),
+            arr: vec![time],
+            slack: vec![INF],
+            picked: vec![0],
+            leg: vec![0],
+        }
+    }
+
+    /// Number of stops `n` (the paper's route has `n + 1` locations).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether the route has no pending stops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// The stops `l_1 … l_n`.
+    #[inline]
+    pub fn stops(&self) -> &[Stop] {
+        &self.stops
+    }
+
+    /// Location `l_k` (`k = 0` is the worker's current location).
+    #[inline]
+    pub fn vertex(&self, k: usize) -> VertexId {
+        if k == 0 {
+            self.start_vertex
+        } else {
+            self.stops[k - 1].vertex
+        }
+    }
+
+    /// Arrival time `arr[k]` (Eq. 7).
+    #[inline]
+    pub fn arr(&self, k: usize) -> Time {
+        self.arr[k]
+    }
+
+    /// Latest feasible arrival `ddl[k]` (Eq. 6); `∞` for `k = 0`.
+    #[inline]
+    pub fn ddl(&self, k: usize) -> Time {
+        if k == 0 {
+            INF
+        } else {
+            self.stops[k - 1].ddl
+        }
+    }
+
+    /// Slack time `slack[k]` (Eq. 8); `∞` for `k = n`.
+    #[inline]
+    pub fn slack(&self, k: usize) -> Cost {
+        self.slack[k]
+    }
+
+    /// On-board load `picked[k]` after `l_k` (Eq. 9).
+    #[inline]
+    pub fn picked(&self, k: usize) -> u32 {
+        self.picked[k]
+    }
+
+    /// Stored leg distance `dis(l_{k-1}, l_k)` for `k ≥ 1`.
+    #[inline]
+    pub fn leg(&self, k: usize) -> Cost {
+        self.leg[k]
+    }
+
+    /// The worker's current location `l_0`.
+    #[inline]
+    pub fn start_vertex(&self) -> VertexId {
+        self.start_vertex
+    }
+
+    /// The time the worker is/will be at `l_0` (`arr[0]`).
+    #[inline]
+    pub fn start_time(&self) -> Time {
+        self.start_time
+    }
+
+    /// Passengers/items currently on board (`picked[0]`).
+    #[inline]
+    pub fn onboard(&self) -> u32 {
+        self.initial_load
+    }
+
+    /// Remaining planned travel time, `Σ leg[k]`.
+    pub fn remaining_distance(&self) -> Cost {
+        self.leg.iter().sum()
+    }
+
+    /// Rebuilds `arr`, `picked` and `slack` from the stops, legs and
+    /// start state in `O(n)`.
+    fn rebuild(&mut self) {
+        let n = self.stops.len();
+        self.arr.resize(n + 1, 0);
+        self.picked.resize(n + 1, 0);
+        self.slack.resize(n + 1, 0);
+        self.arr[0] = self.start_time;
+        self.picked[0] = self.initial_load;
+        for k in 1..=n {
+            self.arr[k] = cost_add(self.arr[k - 1], self.leg[k]);
+            let s = &self.stops[k - 1];
+            self.picked[k] = match s.kind {
+                StopKind::Pickup => self.picked[k - 1] + s.load,
+                StopKind::Delivery => self.picked[k - 1].saturating_sub(s.load),
+            };
+        }
+        self.slack[n] = INF;
+        for k in (0..n).rev() {
+            let headroom = self.ddl(k + 1).saturating_sub(self.arr[k + 1]);
+            self.slack[k] = self.slack[k + 1].min(headroom);
+        }
+    }
+
+    /// Re-times the route to a new current location (e.g. the worker
+    /// moved to `v`, arriving at `time`). `new_first_leg` must be
+    /// `dis(v, l_1)` when the route is non-empty.
+    ///
+    /// # Panics
+    /// If the route has stops but no `new_first_leg` is supplied.
+    pub fn set_start(&mut self, v: VertexId, time: Time, new_first_leg: Option<Cost>) {
+        self.start_vertex = v;
+        self.start_time = time;
+        if !self.stops.is_empty() {
+            self.leg[1] = new_first_leg.expect("non-empty route needs dis(l_0, l_1)");
+        }
+        self.rebuild();
+    }
+
+    /// Re-times an idle/parked worker to `time` without moving it.
+    pub fn set_start_time(&mut self, time: Time) {
+        self.start_time = time;
+        self.rebuild();
+    }
+
+    /// Arrival time at the first stop, if any.
+    pub fn next_arrival(&self) -> Option<Time> {
+        if self.stops.is_empty() {
+            None
+        } else {
+            Some(self.arr[1])
+        }
+    }
+
+    /// Pops the first stop (the worker has reached it), advancing `l_0`
+    /// to the stop's vertex at its arrival time and updating the
+    /// on-board load. Returns the stop and its arrival time.
+    ///
+    /// # Panics
+    /// If the route is empty.
+    pub fn pop_front_stop(&mut self) -> (Stop, Time) {
+        assert!(!self.stops.is_empty(), "no stop to pop");
+        let reached_at = self.arr[1];
+        let stop = self.stops.remove(0);
+        self.leg.remove(1);
+        self.start_vertex = stop.vertex;
+        self.start_time = reached_at;
+        self.initial_load = match stop.kind {
+            StopKind::Pickup => self.initial_load + stop.load,
+            StopKind::Delivery => self.initial_load.saturating_sub(stop.load),
+        };
+        self.rebuild();
+        (stop, reached_at)
+    }
+
+    /// Applies a committed insertion plan for request `r`, splicing the
+    /// pickup and delivery stops and rebuilding the schedule in `O(n)`
+    /// using only the distances carried by the plan.
+    pub fn apply_insertion(&mut self, plan: &InsertionPlan, r: &Request) {
+        let n = self.stops.len();
+        let (i, j) = (plan.pickup_after, plan.delivery_after);
+        assert!(i <= j && j <= n, "plan positions out of range: ({i},{j}) with n={n}");
+
+        let pickup = Stop {
+            request: r.id,
+            vertex: r.origin,
+            kind: StopKind::Pickup,
+            load: r.capacity,
+            ddl: r.deadline.saturating_sub(plan.direct),
+        };
+        let delivery = Stop {
+            request: r.id,
+            vertex: r.destination,
+            kind: StopKind::Delivery,
+            load: r.capacity,
+            ddl: r.deadline,
+        };
+
+        match plan.shape {
+            PlanShape::Append { dis_tail_pickup } => {
+                assert!(i == n && j == n, "Append shape requires i = j = n");
+                self.stops.push(pickup);
+                self.stops.push(delivery);
+                self.leg.push(dis_tail_pickup);
+                self.leg.push(plan.direct);
+            }
+            PlanShape::Adjacent {
+                dis_prev_pickup,
+                dis_delivery_next,
+            } => {
+                assert!(i == j && i < n, "Adjacent shape requires i = j < n");
+                self.stops.insert(i, pickup);
+                self.stops.insert(i + 1, delivery);
+                // Old leg l_i → l_{i+1} becomes three legs.
+                self.leg[i + 1] = dis_prev_pickup;
+                self.leg
+                    .splice(i + 2..i + 2, [plan.direct, dis_delivery_next]);
+            }
+            PlanShape::Split {
+                dis_prev_pickup,
+                dis_pickup_next,
+                dis_prev_delivery,
+                dis_delivery_next,
+            } => {
+                assert!(i < j, "Split shape requires i < j");
+                self.stops.insert(i, pickup);
+                self.leg[i + 1] = dis_prev_pickup;
+                self.leg.splice(i + 2..i + 2, [dis_pickup_next]);
+                // After the pickup splice, old position j sits at stop
+                // index j, i.e. the leg into l_{j+1} is leg[j + 2].
+                self.stops.insert(j + 1, delivery);
+                if j < n {
+                    self.leg[j + 2] = dis_prev_delivery;
+                    if let Some(next) = dis_delivery_next {
+                        self.leg.splice(j + 3..j + 3, [next]);
+                    } else {
+                        panic!("Split with j < n needs dis_delivery_next");
+                    }
+                } else {
+                    self.leg.push(dis_prev_delivery);
+                }
+            }
+        }
+        self.rebuild();
+        debug_assert_eq!(self.leg.len(), self.stops.len() + 1);
+    }
+
+    /// Replaces all pending stops with a re-ordered sequence (used by
+    /// the kinetic-tree baseline, which — unlike insertion — may
+    /// permute existing stops). `legs[k]` must be
+    /// `dis(l_{k-1}, l_k)` with `l_0` the unchanged start vertex;
+    /// `legs.len() == stops.len()`.
+    ///
+    /// The caller is responsible for only passing sequences that keep
+    /// every previously committed request on the route (the
+    /// invariability constraint); [`Route::validate`] plus the platform
+    /// layer enforce this in debug builds.
+    pub fn replace_tail(&mut self, stops: Vec<Stop>, legs: Vec<Cost>) {
+        assert_eq!(stops.len(), legs.len(), "one leg per stop");
+        self.stops = stops;
+        self.leg.truncate(1); // keep leg[0] = 0 sentinel
+        self.leg.extend(legs);
+        self.rebuild();
+    }
+
+    /// Full `O(n)` feasibility re-check (Def. 4), used by tests and the
+    /// simulator's audit rather than the DP fast paths:
+    /// precedence (pickup before delivery; deliveries may lack a pickup
+    /// only if the request is already on board), deadlines and capacity.
+    pub fn validate(&self, worker_capacity: u32) -> Result<(), String> {
+        let n = self.stops.len();
+        if self.initial_load > worker_capacity {
+            return Err(format!(
+                "initial load {} exceeds capacity {worker_capacity}",
+                self.initial_load
+            ));
+        }
+        // Precedence bookkeeping.
+        let mut open: std::collections::HashMap<RequestId, StopKind> =
+            std::collections::HashMap::new();
+        for (k, s) in self.stops.iter().enumerate() {
+            match s.kind {
+                StopKind::Pickup => {
+                    if open.insert(s.request, StopKind::Pickup).is_some() {
+                        return Err(format!("duplicate stop for {} at {k}", s.request));
+                    }
+                }
+                StopKind::Delivery => match open.insert(s.request, StopKind::Delivery) {
+                    None => {} // onboard rider: delivery without pickup stop is fine
+                    Some(StopKind::Pickup) => {}
+                    Some(StopKind::Delivery) => {
+                        return Err(format!("double delivery for {}", s.request))
+                    }
+                },
+            }
+        }
+        for (r, k) in &open {
+            if *k == StopKind::Pickup {
+                return Err(format!("pickup without delivery for {r}"));
+            }
+        }
+        // Deadlines and capacity from the schedule arrays.
+        for k in 1..=n {
+            if self.arr[k] > self.ddl(k) {
+                return Err(format!(
+                    "deadline violated at stop {k}: arr {} > ddl {}",
+                    self.arr[k],
+                    self.ddl(k)
+                ));
+            }
+            if self.picked[k] > worker_capacity {
+                return Err(format!(
+                    "capacity violated after stop {k}: {} > {worker_capacity}",
+                    self.picked[k]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RequestId;
+
+    fn stop(rid: u32, v: u32, kind: StopKind, load: u32, ddl: Time) -> Stop {
+        Stop {
+            request: RequestId(rid),
+            vertex: VertexId(v),
+            kind,
+            load,
+            ddl,
+        }
+    }
+
+    fn req(rid: u32, o: u32, d: u32, deadline: Time, cap: u32) -> Request {
+        Request {
+            id: RequestId(rid),
+            origin: VertexId(o),
+            destination: VertexId(d),
+            release: 0,
+            deadline,
+            penalty: 10,
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn empty_route_arrays() {
+        let r = Route::new(VertexId(5), 42);
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.vertex(0), VertexId(5));
+        assert_eq!(r.arr(0), 42);
+        assert_eq!(r.ddl(0), INF);
+        assert_eq!(r.slack(0), INF);
+        assert_eq!(r.picked(0), 0);
+        assert_eq!(r.remaining_distance(), 0);
+        assert!(r.validate(4).is_ok());
+    }
+
+    #[test]
+    fn append_plan_builds_schedule() {
+        let mut route = Route::new(VertexId(0), 10);
+        let r = req(1, 7, 8, 200, 1);
+        let plan = InsertionPlan {
+            pickup_after: 0,
+            delivery_after: 0,
+            delta: 30 + 50,
+            direct: 50,
+            shape: PlanShape::Append { dis_tail_pickup: 30 },
+        };
+        route.apply_insertion(&plan, &r);
+        assert_eq!(route.len(), 2);
+        assert_eq!(route.vertex(1), VertexId(7));
+        assert_eq!(route.vertex(2), VertexId(8));
+        assert_eq!(route.arr(1), 40);
+        assert_eq!(route.arr(2), 90);
+        assert_eq!(route.ddl(1), 150); // e_r − L = 200 − 50
+        assert_eq!(route.ddl(2), 200);
+        assert_eq!(route.picked(0), 0);
+        assert_eq!(route.picked(1), 1);
+        assert_eq!(route.picked(2), 0);
+        // slack[1] = ddl[2] − arr[2] = 110; slack[0] = min(110, 150−40).
+        assert_eq!(route.slack(2), INF);
+        assert_eq!(route.slack(1), 110);
+        assert_eq!(route.slack(0), 110);
+        assert_eq!(route.remaining_distance(), 80);
+        assert!(route.validate(1).is_ok());
+    }
+
+    #[test]
+    fn adjacent_plan_splices_three_legs() {
+        // Existing route: 0 →(100) s1 with generous deadline.
+        let mut route = Route::new(VertexId(0), 0);
+        let first = req(1, 1, 2, 10_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 100,
+                direct: 40,
+                shape: PlanShape::Append { dis_tail_pickup: 60 },
+            },
+            &first,
+        );
+        assert_eq!(route.len(), 2);
+
+        // Insert a second request between l_0 and l_1 (i = j = 0 < n).
+        let second = req(2, 3, 4, 10_000, 2);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 25,
+                direct: 15,
+                shape: PlanShape::Adjacent {
+                    dis_prev_pickup: 20,
+                    dis_delivery_next: 50,
+                },
+            },
+            &second,
+        );
+        assert_eq!(route.len(), 4);
+        assert_eq!(route.vertex(1), VertexId(3)); // o_r2
+        assert_eq!(route.vertex(2), VertexId(4)); // d_r2
+        assert_eq!(route.vertex(3), VertexId(1)); // o_r1
+        assert_eq!(route.vertex(4), VertexId(2)); // d_r1
+        assert_eq!(route.leg(1), 20);
+        assert_eq!(route.leg(2), 15);
+        assert_eq!(route.leg(3), 50);
+        assert_eq!(route.leg(4), 40);
+        assert_eq!(route.picked(1), 2);
+        assert_eq!(route.picked(2), 0);
+        assert!(route.validate(2).is_ok());
+    }
+
+    #[test]
+    fn split_plan_inserts_across_stops() {
+        // Route with two stops: pickup r1 at v1, deliver at v2.
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = req(1, 1, 2, 10_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 100,
+                direct: 70,
+                shape: PlanShape::Append { dis_tail_pickup: 30 },
+            },
+            &r1,
+        );
+        // Insert r2 with pickup after l_0 (i=0) and delivery after l_2 (j=2=n).
+        let r2 = req(2, 5, 6, 10_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 2,
+                delta: 999, // not used by apply
+                direct: 55,
+                shape: PlanShape::Split {
+                    dis_prev_pickup: 10,
+                    dis_pickup_next: 25,
+                    dis_prev_delivery: 35,
+                    dis_delivery_next: None,
+                },
+            },
+            &r2,
+        );
+        assert_eq!(route.len(), 4);
+        assert_eq!(route.vertex(1), VertexId(5)); // o_r2
+        assert_eq!(route.vertex(2), VertexId(1)); // o_r1
+        assert_eq!(route.vertex(3), VertexId(2)); // d_r1
+        assert_eq!(route.vertex(4), VertexId(6)); // d_r2
+        assert_eq!(route.leg(1), 10);
+        assert_eq!(route.leg(2), 25);
+        assert_eq!(route.leg(3), 70);
+        assert_eq!(route.leg(4), 35);
+        // r2 rides from stop 1 through stop 4.
+        assert_eq!(route.picked(1), 1);
+        assert_eq!(route.picked(2), 2);
+        assert_eq!(route.picked(3), 1);
+        assert_eq!(route.picked(4), 0);
+        assert!(route.validate(2).is_ok());
+    }
+
+    #[test]
+    fn split_with_middle_delivery() {
+        // Build a 4-stop route, then split-insert with j < n.
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = req(1, 1, 2, 100_000, 1);
+        let r2 = req(2, 3, 4, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 50,
+                shape: PlanShape::Append { dis_tail_pickup: 10 },
+            },
+            &r1,
+        );
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 2,
+                delivery_after: 2,
+                delta: 0,
+                direct: 60,
+                shape: PlanShape::Append { dis_tail_pickup: 20 },
+            },
+            &r2,
+        );
+        // Route: o1(v1) d1(v2) o2(v3) d2(v4); insert r3: i=1, j=3.
+        let r3 = req(3, 7, 8, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 1,
+                delivery_after: 3,
+                delta: 0,
+                direct: 44,
+                shape: PlanShape::Split {
+                    dis_prev_pickup: 5,
+                    dis_pickup_next: 6,
+                    dis_prev_delivery: 7,
+                    dis_delivery_next: Some(8),
+                },
+            },
+            &r3,
+        );
+        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        assert_eq!(verts, vec![0, 1, 7, 2, 3, 8, 4]);
+        assert_eq!(route.leg(2), 5); // v1 → o_r3
+        assert_eq!(route.leg(3), 6); // o_r3 → v2
+        assert_eq!(route.leg(5), 7); // v3 → d_r3
+        assert_eq!(route.leg(6), 8); // d_r3 → v4
+        assert!(route.validate(3).is_ok());
+    }
+
+    #[test]
+    fn pop_front_advances_start_and_load() {
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 1, 2, 10_000, 3);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 40,
+                shape: PlanShape::Append { dis_tail_pickup: 25 },
+            },
+            &r,
+        );
+        assert_eq!(route.next_arrival(), Some(25));
+        let (s, t) = route.pop_front_stop();
+        assert_eq!(s.kind, StopKind::Pickup);
+        assert_eq!(t, 25);
+        assert_eq!(route.start_vertex(), VertexId(1));
+        assert_eq!(route.start_time(), 25);
+        assert_eq!(route.onboard(), 3);
+        assert_eq!(route.len(), 1);
+
+        let (s, t) = route.pop_front_stop();
+        assert_eq!(s.kind, StopKind::Delivery);
+        assert_eq!(t, 65);
+        assert_eq!(route.onboard(), 0);
+        assert!(route.is_empty());
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 1, 2, 50, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 40,
+                shape: PlanShape::Append { dis_tail_pickup: 25 },
+            },
+            &r,
+        );
+        // arr at delivery = 65 > deadline 50.
+        assert!(route.validate(4).unwrap_err().contains("deadline"));
+
+        // Capacity violation.
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 1, 2, 10_000, 5);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 40,
+                shape: PlanShape::Append { dis_tail_pickup: 25 },
+            },
+            &r,
+        );
+        assert!(route.validate(4).unwrap_err().contains("capacity"));
+    }
+
+    #[test]
+    fn validate_catches_pickup_without_delivery() {
+        let mut route = Route::new(VertexId(0), 0);
+        route.stops.push(stop(1, 1, StopKind::Pickup, 1, 1_000));
+        route.leg.push(10);
+        route.rebuild();
+        assert!(route
+            .validate(4)
+            .unwrap_err()
+            .contains("pickup without delivery"));
+    }
+
+    #[test]
+    fn delivery_only_is_valid_for_onboard_rider() {
+        let mut route = Route::new(VertexId(0), 0);
+        route.initial_load = 1;
+        route.stops.push(stop(1, 1, StopKind::Delivery, 1, 1_000));
+        route.leg.push(10);
+        route.rebuild();
+        assert!(route.validate(4).is_ok());
+        assert_eq!(route.picked(1), 0);
+    }
+
+    #[test]
+    fn set_start_retimes_schedule() {
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 1, 2, 10_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 40,
+                shape: PlanShape::Append { dis_tail_pickup: 25 },
+            },
+            &r,
+        );
+        route.set_start(VertexId(9), 100, Some(5));
+        assert_eq!(route.vertex(0), VertexId(9));
+        assert_eq!(route.arr(1), 105);
+        assert_eq!(route.arr(2), 145);
+
+        let mut idle = Route::new(VertexId(3), 7);
+        idle.set_start_time(99);
+        assert_eq!(idle.arr(0), 99);
+    }
+}

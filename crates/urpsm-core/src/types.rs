@@ -1,0 +1,143 @@
+//! Problem entities of the URPSM model (Definitions 2–4 of the paper).
+
+use road_network::{Cost, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Simulation/platform time, in the same integer centisecond unit as
+/// [`Cost`] (the paper uses travel time and distance interchangeably).
+pub type Time = u64;
+
+/// Identifier of a worker (driver / courier).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of a request (rider / parcel).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A worker `w = <o_w, K_w>` (Def. 2): an initial location and a
+/// capacity (seats in a taxi, box slots of a courier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Stable identifier.
+    pub id: WorkerId,
+    /// Initial location `o_w`.
+    pub origin: VertexId,
+    /// Capacity `K_w`: maximum passengers/items on board at any time.
+    pub capacity: u32,
+}
+
+/// A request `r = <o_r, d_r, t_r, e_r, p_r, K_r>` (Def. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Stable identifier.
+    pub id: RequestId,
+    /// Pickup vertex `o_r`.
+    pub origin: VertexId,
+    /// Drop-off vertex `d_r`.
+    pub destination: VertexId,
+    /// Release time `t_r`: the platform first learns of `r` now.
+    pub release: Time,
+    /// Delivery deadline `e_r`: drop-off must happen no later than this.
+    /// (The pickup deadline is the derived `e_r − dis(o_r, d_r)`.)
+    pub deadline: Time,
+    /// Penalty `p_r` charged to the unified cost if `r` is rejected.
+    pub penalty: Cost,
+    /// Capacity demand `K_r`: passengers/items in this single request.
+    pub capacity: u32,
+}
+
+impl Request {
+    /// The latest pickup time that can still meet the delivery deadline,
+    /// given the shortest pickup→drop-off travel time `l = dis(o_r, d_r)`.
+    #[inline]
+    pub fn pickup_deadline(&self, l: Cost) -> Time {
+        self.deadline.saturating_sub(l)
+    }
+}
+
+/// What a stop on a route does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StopKind {
+    /// Pick the request's passengers/items up at its origin.
+    Pickup,
+    /// Drop them off at its destination.
+    Delivery,
+}
+
+/// One location `l_k` of a route (Def. 4): the origin or destination of
+/// an assigned request, plus the cached per-stop data the schedule
+/// arrays of §4.3 are rebuilt from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stop {
+    /// The request being picked up / delivered.
+    pub request: RequestId,
+    /// Where this stop happens.
+    pub vertex: VertexId,
+    /// Pickup or delivery.
+    pub kind: StopKind,
+    /// Capacity effect `K_r` of the request.
+    pub load: u32,
+    /// Latest feasible arrival (`ddl` of Eq. 6): `e_r − dis(o_r, d_r)`
+    /// for pickups, `e_r` for deliveries.
+    pub ddl: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pickup_deadline_subtracts_direct_time() {
+        let r = Request {
+            id: RequestId(0),
+            origin: VertexId(1),
+            destination: VertexId(2),
+            release: 100,
+            deadline: 500,
+            penalty: 10,
+            capacity: 1,
+        };
+        assert_eq!(r.pickup_deadline(120), 380);
+        // Saturates rather than wrapping for hopeless requests.
+        assert_eq!(r.pickup_deadline(10_000), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WorkerId(3).to_string(), "w3");
+        assert_eq!(RequestId(9).to_string(), "r9");
+    }
+}

@@ -1,0 +1,190 @@
+//! The cycle-graph adversary of the hardness proofs (§3.3).
+//!
+//! Lemmas 1–3 all use the same input distribution χ: an undirected
+//! cycle with `|V|` unit edges, one worker of capacity 2 parked at
+//! `v_1`, and a single request released at time `|V|` whose origin is
+//! uniform over the vertices, with deadline `t_r + ε`. A clairvoyant
+//! optimum pre-positions the worker and always serves; any online
+//! algorithm is stranded at (or near) `v_1` and almost never can,
+//! so the competitive ratio grows without bound as `|V| → ∞`.
+//!
+//! [`AdversaryInstance`] materializes one draw; the `hardness`
+//! experiment in the bench crate averages many draws per `|V|` and
+//! reports the measured ratio curves for all three objectives.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use road_network::graph::RoadNetwork;
+use road_network::{Cost, VertexId, INF};
+use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
+
+use crate::network_gen::cycle_graph;
+
+/// Which of the three hardness lemmas the instance instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lemma {
+    /// Lemma 1: `α = 0, p_r = 1` (maximize served requests);
+    /// `d_r = o_r`.
+    MaxServed,
+    /// Lemma 2: `α = c_w, p_r = c_r · dis(o_r, d_r)` (max revenue);
+    /// `d_r` antipodal to `o_r`.
+    MaxRevenue {
+        /// Fare per unit distance `c_r` (must exceed `2 c_w`).
+        fare: u64,
+        /// Wage per unit distance `c_w`.
+        wage: u64,
+    },
+    /// Lemma 3: `α = 1, p_r = ∞` (min distance, serve all);
+    /// `d_r = o_r`.
+    MinDistance,
+}
+
+/// One sampled adversary input.
+pub struct AdversaryInstance {
+    /// The cycle network.
+    pub network: Arc<RoadNetwork>,
+    /// The single worker at `v_0` with capacity 2.
+    pub worker: Worker,
+    /// The single late-released request.
+    pub request: Request,
+    /// The objective weight `α` the lemma prescribes.
+    pub alpha: u64,
+}
+
+impl AdversaryInstance {
+    /// Samples an instance with `n` vertices, edge cost `edge_cost`
+    /// and slack `epsilon` (the lemmas' ε > 0).
+    pub fn sample(lemma: Lemma, n: usize, edge_cost: Cost, epsilon: Cost, seed: u64) -> Self {
+        assert!(n >= 4 && n.is_multiple_of(2), "the proofs use an even cycle");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let network = Arc::new(cycle_graph(n, edge_cost));
+        let release: Time = n as Time * edge_cost;
+        let origin = VertexId(rng.gen_range(0..n as u32));
+        let (destination, penalty, alpha) = match lemma {
+            Lemma::MaxServed => (origin, 1, 0),
+            Lemma::MinDistance => (origin, INF, 1),
+            Lemma::MaxRevenue { fare, wage } => {
+                assert!(fare > 2 * wage, "Lemma 2 needs c_r > 2·c_w");
+                let antipode = VertexId((origin.0 + n as u32 / 2) % n as u32);
+                let direct = (n as Cost / 2) * edge_cost;
+                (antipode, fare.saturating_mul(direct), wage)
+            }
+        };
+        let request = Request {
+            id: RequestId(0),
+            origin,
+            destination,
+            release,
+            deadline: release
+                + epsilon
+                + if destination == origin {
+                    0
+                } else {
+                    (n as Cost / 2) * edge_cost
+                },
+            penalty,
+            capacity: 1,
+        };
+        AdversaryInstance {
+            network,
+            worker: Worker {
+                id: WorkerId(0),
+                origin: VertexId(0),
+                capacity: 2,
+            },
+            request,
+            alpha,
+        }
+    }
+
+    /// The clairvoyant optimum's unified cost for this draw: the
+    /// offline algorithm has the whole interval `[0, t_r]` (length
+    /// `n · edge_cost`) to drive at most `n/2` edges to `o_r`, so it
+    /// always serves.
+    pub fn optimal_unified_cost(&self) -> u64 {
+        let to_origin = self.cycle_distance(self.worker.origin, self.request.origin);
+        let ride = self.cycle_distance(self.request.origin, self.request.destination);
+        self.alpha.saturating_mul(to_origin + ride)
+    }
+
+    /// Shortest cycle distance between two vertices.
+    fn cycle_distance(&self, a: VertexId, b: VertexId) -> Cost {
+        let n = self.network.num_vertices() as u32;
+        let d = a.0.abs_diff(b.0);
+        let hops = d.min(n - d);
+        // All edges share one cost; read it off any incident edge.
+        let edge_cost = self
+            .network
+            .neighbors(VertexId(0))
+            .next()
+            .expect("cycle vertex has neighbors")
+            .1;
+        Cost::from(hops) * edge_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_instance_shape() {
+        let inst = AdversaryInstance::sample(Lemma::MaxServed, 16, 100, 50, 3);
+        assert_eq!(inst.alpha, 0);
+        assert_eq!(inst.request.penalty, 1);
+        assert_eq!(inst.request.origin, inst.request.destination);
+        assert_eq!(inst.request.release, 1_600);
+        assert_eq!(inst.request.deadline, 1_650);
+        // OPT always serves at zero unified cost (α = 0).
+        assert_eq!(inst.optimal_unified_cost(), 0);
+    }
+
+    #[test]
+    fn lemma2_instance_shape() {
+        let inst =
+            AdversaryInstance::sample(Lemma::MaxRevenue { fare: 5, wage: 1 }, 16, 100, 50, 3);
+        assert_eq!(inst.alpha, 1);
+        // Antipodal destination: ride of n/2 edges.
+        assert_eq!(
+            inst.request.penalty,
+            5 * 8 * 100,
+            "p_r = c_r · dis(o_r, d_r)"
+        );
+        // OPT cost ≤ α (n/2 + n/2) edge costs.
+        assert!(inst.optimal_unified_cost() <= 16 * 100);
+    }
+
+    #[test]
+    fn lemma3_penalty_infinite() {
+        let inst = AdversaryInstance::sample(Lemma::MinDistance, 16, 100, 50, 9);
+        assert_eq!(inst.request.penalty, INF);
+        assert_eq!(inst.alpha, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_r > 2")]
+    fn lemma2_requires_profitable_fares() {
+        let _ = AdversaryInstance::sample(Lemma::MaxRevenue { fare: 2, wage: 1 }, 8, 100, 10, 0);
+    }
+
+    #[test]
+    fn online_algorithm_usually_fails_lemma1() {
+        // Empirical core of Lemma 1: a worker stuck at v_0 can only
+        // serve when o_r lands within ε of it. With ε = half an edge,
+        // that's ~1 vertex in n.
+        let n = 32;
+        let mut served = 0;
+        for seed in 0..200 {
+            let inst = AdversaryInstance::sample(Lemma::MaxServed, n, 100, 50, seed);
+            let reachable =
+                inst.cycle_distance(inst.worker.origin, inst.request.origin) <= 50;
+            if reachable {
+                served += 1;
+            }
+        }
+        // P(serve) ≈ 1/32; allow generous slack.
+        assert!(served < 30, "served {served}/200");
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic road-network generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use road_network::builder::NetworkBuilder;
+use road_network::geo::Point;
+use road_network::graph::{RoadClass, RoadNetwork};
+use road_network::VertexId;
+
+/// A Manhattan-style grid city: `nx × ny` intersections, `block_m`
+/// meter blocks. Road classes follow a typical urban hierarchy:
+/// every 8th street is a motorway corridor, every 4th a primary,
+/// every 2nd a secondary, the rest residential. A seeded fraction of
+/// blocks is removed (parks, rivers) to break the perfect symmetry —
+/// the network stays connected by construction of the perimeter.
+pub fn grid_city(nx: usize, ny: usize, block_m: f64, seed: u64) -> RoadNetwork {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2×2 intersections");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            b.add_vertex(Point::new(x as f64 * block_m, y as f64 * block_m));
+        }
+    }
+    let id = |x: usize, y: usize| VertexId((y * nx + x) as u32);
+    let class_of = |i: usize| {
+        if i.is_multiple_of(8) {
+            RoadClass::Motorway
+        } else if i.is_multiple_of(4) {
+            RoadClass::Primary
+        } else if i.is_multiple_of(2) {
+            RoadClass::Secondary
+        } else {
+            RoadClass::Residential
+        }
+    };
+    for y in 0..ny {
+        for x in 0..nx {
+            // Horizontal block: class by the street's row index.
+            if x + 1 < nx {
+                let interior = y > 0 && y + 1 < ny;
+                if !(interior && rng.gen_bool(0.05)) {
+                    b.add_straight_road(id(x, y), id(x + 1, y), class_of(y))
+                        .expect("valid grid edge");
+                }
+            }
+            // Vertical block: class by the avenue's column index.
+            if y + 1 < ny {
+                let interior = x > 0 && x + 1 < nx;
+                if !(interior && rng.gen_bool(0.05)) {
+                    b.add_straight_road(id(x, y), id(x, y + 1), class_of(x))
+                        .expect("valid grid edge");
+                }
+            }
+        }
+    }
+    let g = b.finish().expect("grid city is non-empty");
+    debug_assert!(g.is_connected(), "perimeter keeps the grid connected");
+    g
+}
+
+/// A ring-and-radial city (Chengdu-style): `rings` concentric rings
+/// crossed by `spokes` radial avenues, plus a central vertex. Ring
+/// spacing is `ring_gap_m`. The outermost ring is a motorway, inner
+/// rings are primaries, spokes alternate primary/secondary.
+pub fn ring_radial_city(rings: usize, spokes: usize, ring_gap_m: f64) -> RoadNetwork {
+    assert!(rings >= 1 && spokes >= 3, "need ≥1 ring and ≥3 spokes");
+    let mut b = NetworkBuilder::with_capacity(rings * spokes + 1, 2 * rings * spokes);
+    let center = b.add_vertex(Point::new(0.0, 0.0));
+    let id = |ring: usize, spoke: usize| VertexId((1 + ring * spokes + spoke) as u32);
+    for ring in 0..rings {
+        let radius = (ring + 1) as f64 * ring_gap_m;
+        for spoke in 0..spokes {
+            let angle = spoke as f64 / spokes as f64 * std::f64::consts::TAU;
+            b.add_vertex(Point::new(radius * angle.cos(), radius * angle.sin()));
+        }
+        let ring_class = if ring + 1 == rings {
+            RoadClass::Motorway
+        } else {
+            RoadClass::Primary
+        };
+        for spoke in 0..spokes {
+            b.add_straight_road(id(ring, spoke), id(ring, (spoke + 1) % spokes), ring_class)
+                .expect("valid ring edge");
+        }
+    }
+    for spoke in 0..spokes {
+        let class = if spoke % 2 == 0 {
+            RoadClass::Primary
+        } else {
+            RoadClass::Secondary
+        };
+        b.add_straight_road(center, id(0, spoke), class)
+            .expect("valid spoke edge");
+        for ring in 1..rings {
+            b.add_straight_road(id(ring - 1, spoke), id(ring, spoke), class)
+                .expect("valid spoke edge");
+        }
+    }
+    let g = b.finish().expect("ring city is non-empty");
+    debug_assert!(g.is_connected());
+    g
+}
+
+/// The undirected cycle graph of the hardness proofs (§3.3): `n`
+/// vertices on a circle, every edge costing `edge_cost`. Coordinates
+/// sit on the circle so chords underestimate arcs and the Euclidean
+/// bound stays valid.
+pub fn cycle_graph(n: usize, edge_cost: road_network::Cost) -> RoadNetwork {
+    assert!(n >= 3, "a cycle needs ≥3 vertices");
+    let mut b = NetworkBuilder::with_capacity(n, n);
+    // Pick the circle radius so that one edge's straight-line travel
+    // time at top speed is ≤ edge_cost: chord length for angle θ is
+    // 2·R·sin(θ/2); we need chord/V·100 ≤ edge_cost.
+    let theta = std::f64::consts::TAU / n as f64;
+    let top = RoadClass::FASTEST_MPS;
+    let max_chord_m = edge_cost as f64 / 100.0 * top;
+    let radius = max_chord_m / (2.0 * (theta / 2.0).sin()) * 0.999;
+    for i in 0..n {
+        let a = i as f64 * theta;
+        b.add_vertex(Point::new(radius * a.cos(), radius * a.sin()));
+    }
+    for i in 0..n {
+        b.add_edge_with_cost(
+            VertexId(i as u32),
+            VertexId(((i + 1) % n) as u32),
+            edge_cost,
+        )
+        .expect("valid cycle edge");
+    }
+    b.finish().expect("cycle is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::dijkstra::DijkstraEngine;
+
+    #[test]
+    fn grid_city_shape() {
+        let g = grid_city(10, 8, 200.0, 1);
+        assert_eq!(g.num_vertices(), 80);
+        assert!(g.is_connected());
+        // Roughly 2·nx·ny edges minus borders and the 5% removals.
+        assert!(g.num_edges() > 110 && g.num_edges() < 142, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn grid_city_deterministic_per_seed() {
+        let a = grid_city(6, 6, 150.0, 42);
+        let b = grid_city(6, 6, 150.0, 42);
+        let c = grid_city(6, 6, 150.0, 43);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.num_edges() != c.num_edges() || {
+            // Same count is possible; compare adjacency then.
+            let mut differs = false;
+            for v in a.vertices() {
+                if a.neighbors(v).collect::<Vec<_>>() != c.neighbors(v).collect::<Vec<_>>() {
+                    differs = true;
+                    break;
+                }
+            }
+            differs
+        });
+    }
+
+    #[test]
+    fn motorway_corridor_is_faster() {
+        let g = grid_city(17, 17, 500.0, 7);
+        // Row 0 is a motorway, row 1 residential: same geometric
+        // length, very different travel time.
+        let mut e = DijkstraEngine::for_network(&g);
+        let west_on_m = VertexId(0);
+        let east_on_m = VertexId(16);
+        let t_motorway = e.distance(&g, west_on_m, east_on_m);
+        let west_r = VertexId(17 + 1); // row 1 col 1 (avoid col-0 motorway)
+        let east_r = VertexId(17 + 15);
+        let t_side = e.distance(&g, west_r, east_r);
+        assert!(
+            t_motorway < t_side,
+            "motorway {t_motorway} should beat side streets {t_side}"
+        );
+    }
+
+    #[test]
+    fn ring_city_shape_and_connectivity() {
+        let g = ring_radial_city(5, 12, 800.0);
+        assert_eq!(g.num_vertices(), 5 * 12 + 1);
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 5 * 12 + 5 * 12);
+    }
+
+    #[test]
+    fn cycle_graph_distances_wrap() {
+        let n = 10;
+        let g = cycle_graph(n, 100);
+        let mut e = DijkstraEngine::for_network(&g);
+        assert_eq!(e.distance(&g, VertexId(0), VertexId(1)), 100);
+        assert_eq!(e.distance(&g, VertexId(0), VertexId(5)), 500);
+        assert_eq!(e.distance(&g, VertexId(0), VertexId(7)), 300); // wraps
+    }
+
+    #[test]
+    fn cycle_graph_euclidean_bound_valid() {
+        let g = cycle_graph(12, 100);
+        for v in g.vertices() {
+            for (u, c) in g.neighbors(v) {
+                assert!(g.euc(v, u) <= c);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Request-stream generation (§6.1's dataset features, synthesized).
+//!
+//! Spatial model: origins and destinations are drawn from a Gaussian
+//! hotspot mixture over the network's vertices (downtown-heavy, like
+//! taxi demand), via a precomputed alias-free cumulative table.
+//! Temporal model: arrival times follow a double-peak "rush hour"
+//! profile over the simulated day. `K_r` follows the public NYC TLC
+//! passenger-count distribution (the paper generates Chengdu's `K_r`
+//! from the NYC distribution too). Deadlines are `t_r + Δ` and
+//! penalties `β · dis(o_r, d_r)`, both exactly as Table 5 configures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use road_network::geo::Point;
+use road_network::graph::RoadNetwork;
+use road_network::oracle::DistanceOracle;
+use road_network::{Cost, VertexId, INF};
+use urpsm_core::types::{Request, RequestId, Time};
+
+/// The NYC TLC passenger-count distribution (2016 yellow cabs,
+/// rounded): `P(K_r = i+1) = WEIGHTS[i] / 1000`.
+pub const KR_WEIGHTS: [u32; 6] = [709, 145, 42, 21, 52, 31];
+
+/// Spatial/temporal configuration of a request stream.
+#[derive(Debug, Clone)]
+pub struct RequestStreamConfig {
+    /// Number of requests to generate.
+    pub count: usize,
+    /// Length of the simulated period in centiseconds.
+    pub horizon: Time,
+    /// Deadline offset Δ: `e_r = t_r + deadline_offset`.
+    pub deadline_offset: Time,
+    /// Penalty factor β: `p_r = β · dis(o_r, d_r)`.
+    pub penalty_factor: u64,
+    /// Number of Gaussian hotspots (≥1); hotspot 0 is the city center.
+    pub hotspots: usize,
+    /// Hotspot standard deviation in meters.
+    pub hotspot_sigma_m: f64,
+    /// Fraction of uniform "background" demand mixed in.
+    pub background: f64,
+}
+
+impl Default for RequestStreamConfig {
+    fn default() -> Self {
+        RequestStreamConfig {
+            count: 1_000,
+            horizon: 24 * 60 * crate::MINUTE_CS,
+            deadline_offset: 10 * crate::MINUTE_CS,
+            penalty_factor: 10,
+            hotspots: 4,
+            hotspot_sigma_m: 1_500.0,
+            background: 0.2,
+        }
+    }
+}
+
+/// Seeded generator of realistic request streams over a network.
+pub struct RequestStreamGenerator<'a> {
+    network: &'a RoadNetwork,
+    cfg: RequestStreamConfig,
+    rng: StdRng,
+    /// Per-vertex sampling weights as a cumulative table.
+    cumulative: Vec<f64>,
+}
+
+impl<'a> RequestStreamGenerator<'a> {
+    /// Builds the spatial sampling table for `network`.
+    pub fn new(network: &'a RoadNetwork, cfg: RequestStreamConfig, seed: u64) -> Self {
+        assert!(cfg.hotspots >= 1, "need at least one hotspot");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bbox = network.bounding_box();
+        // Hotspot centers: city center plus seeded off-center spots.
+        let center = Point::new(
+            (bbox.min.x + bbox.max.x) / 2.0,
+            (bbox.min.y + bbox.max.y) / 2.0,
+        );
+        let mut centers = vec![center];
+        for _ in 1..cfg.hotspots {
+            centers.push(Point::new(
+                rng.gen_range(bbox.min.x..=bbox.max.x),
+                rng.gen_range(bbox.min.y..=bbox.max.y),
+            ));
+        }
+        // Mixture density per vertex → cumulative table.
+        let two_sigma_sq = 2.0 * cfg.hotspot_sigma_m * cfg.hotspot_sigma_m;
+        let mut cumulative = Vec::with_capacity(network.num_vertices());
+        let mut acc = 0.0f64;
+        for v in network.vertices() {
+            let p = network.point(v);
+            let mut w = cfg.background.max(1e-9);
+            for c in &centers {
+                let d = p.euclidean_m(c);
+                w += (-d * d / two_sigma_sq).exp();
+            }
+            acc += w;
+            cumulative.push(acc);
+        }
+        RequestStreamGenerator {
+            network,
+            cfg,
+            rng,
+            cumulative,
+        }
+    }
+
+    /// Samples one vertex from the hotspot mixture.
+    fn sample_vertex(&mut self) -> VertexId {
+        let total = *self.cumulative.last().expect("non-empty network");
+        let x = self.rng.gen_range(0.0..total);
+        let i = self.cumulative.partition_point(|&c| c < x);
+        VertexId(i.min(self.cumulative.len() - 1) as u32)
+    }
+
+    /// Samples an arrival time from the double-peak day profile:
+    /// 25% morning peak (~08:30), 30% evening peak (~18:00), the rest
+    /// uniform, all scaled onto `[0, horizon)`.
+    fn sample_release(&mut self) -> Time {
+        let h = self.cfg.horizon as f64;
+        let u: f64 = self.rng.gen();
+        let frac = if u < 0.25 {
+            let g: f64 = self.sample_gauss(8.5 / 24.0, 0.06);
+            g.clamp(0.0, 0.999)
+        } else if u < 0.55 {
+            let g: f64 = self.sample_gauss(18.0 / 24.0, 0.08);
+            g.clamp(0.0, 0.999)
+        } else {
+            self.rng.gen_range(0.0..1.0)
+        };
+        (frac * h) as Time
+    }
+
+    fn sample_gauss(&mut self, mean: f64, sigma: f64) -> f64 {
+        // Box–Muller is overkill; sum of 4 uniforms ≈ normal enough
+        // for a demand curve and avoids extra dependencies.
+        let s: f64 = (0..4).map(|_| self.rng.gen::<f64>()).sum::<f64>() / 4.0;
+        mean + (s - 0.5) * sigma * 6.93 // matches the sum's std dev
+    }
+
+    /// Samples a destination for a trip starting at `origin`: a
+    /// uniformly random direction with a lognormal trip length
+    /// (median ≈ 2.4 km, like urban taxi trips), snapped to the
+    /// nearest network vertex. Without this, OD pairs would span the
+    /// whole city and almost nothing would be servable within the
+    /// 5–25 minute deadlines of Table 5.
+    fn sample_destination(&mut self, origin: VertexId) -> VertexId {
+        let o = self.network.point(origin);
+        let dir = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        // Lognormal via the sum-of-uniforms normal approximation.
+        let z = self.sample_gauss(0.0, 1.0);
+        let len_m = (2_400.0 * (0.55 * z).exp()).clamp(400.0, 9_000.0);
+        let target = Point::new(o.x + len_m * dir.cos(), o.y + len_m * dir.sin());
+        self.network
+            .nearest_vertex(target)
+            .expect("network is non-empty")
+    }
+
+    /// Samples `K_r` from the NYC passenger-count distribution.
+    fn sample_capacity(&mut self) -> u32 {
+        let total: u32 = KR_WEIGHTS.iter().sum();
+        let mut x = self.rng.gen_range(0..total);
+        for (i, &w) in KR_WEIGHTS.iter().enumerate() {
+            if x < w {
+                return (i + 1) as u32;
+            }
+            x -= w;
+        }
+        1
+    }
+
+    /// Generates the full stream, sorted by release time. Requests
+    /// whose origin and destination coincide or are disconnected are
+    /// re-drawn; penalties take one `dis` query each (§6.1).
+    pub fn generate(&mut self, oracle: &dyn DistanceOracle) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.cfg.count);
+        let mut releases: Vec<Time> = (0..self.cfg.count).map(|_| self.sample_release()).collect();
+        releases.sort_unstable();
+        for (i, release) in releases.into_iter().enumerate() {
+            let (origin, destination, direct) = loop {
+                let o = self.sample_vertex();
+                let d = self.sample_destination(o);
+                if o == d {
+                    continue;
+                }
+                let dist = oracle.dis(o, d);
+                if dist < INF {
+                    break (o, d, dist);
+                }
+            };
+            out.push(Request {
+                id: RequestId(i as u32),
+                origin,
+                destination,
+                release,
+                deadline: release + self.cfg.deadline_offset,
+                penalty: penalty_for(self.cfg.penalty_factor, direct),
+                capacity: self.sample_capacity(),
+            });
+        }
+        out
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &RoadNetwork {
+        self.network
+    }
+}
+
+/// `p_r = β · dis(o_r, d_r)` (Table 5).
+#[inline]
+pub fn penalty_for(factor: u64, direct: Cost) -> Cost {
+    factor.saturating_mul(direct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network_gen::grid_city;
+    use road_network::matrix::MatrixOracle;
+
+    fn setup(count: usize, seed: u64) -> Vec<Request> {
+        let g = grid_city(12, 12, 400.0, 3);
+        let oracle = MatrixOracle::from_network(&g);
+        let cfg = RequestStreamConfig {
+            count,
+            ..Default::default()
+        };
+        let mut gen = RequestStreamGenerator::new(&g, cfg, seed);
+        gen.generate(&oracle)
+    }
+
+    #[test]
+    fn stream_is_sorted_and_well_formed() {
+        let rs = setup(500, 11);
+        assert_eq!(rs.len(), 500);
+        for w in rs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(r.id, RequestId(i as u32));
+            assert_ne!(r.origin, r.destination);
+            assert_eq!(r.deadline, r.release + 10 * crate::MINUTE_CS);
+            assert!(r.penalty > 0);
+            assert!((1..=6).contains(&r.capacity));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(setup(100, 5), setup(100, 5));
+        assert_ne!(setup(100, 5), setup(100, 6));
+    }
+
+    #[test]
+    fn capacity_distribution_matches_weights() {
+        let rs = setup(4_000, 9);
+        let ones = rs.iter().filter(|r| r.capacity == 1).count();
+        let frac = ones as f64 / rs.len() as f64;
+        assert!((frac - 0.709).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn hotspots_skew_spatial_demand() {
+        let g = grid_city(20, 20, 400.0, 3);
+        let oracle = MatrixOracle::from_network(&g);
+        let cfg = RequestStreamConfig {
+            count: 2_000,
+            hotspots: 1, // center only
+            hotspot_sigma_m: 800.0,
+            background: 0.05,
+            ..Default::default()
+        };
+        let mut gen = RequestStreamGenerator::new(&g, cfg, 1);
+        let rs = gen.generate(&oracle);
+        let bbox = g.bounding_box();
+        let cx = (bbox.min.x + bbox.max.x) / 2.0;
+        let cy = (bbox.min.y + bbox.max.y) / 2.0;
+        let center = Point::new(cx, cy);
+        let near = rs
+            .iter()
+            .filter(|r| g.point(r.origin).euclidean_m(&center) < 2_000.0)
+            .count();
+        // The 2 km disc covers ~20% of the city's area but should
+        // attract well over half the demand.
+        assert!(near * 2 > rs.len(), "only {near}/{} near center", rs.len());
+    }
+
+    #[test]
+    fn rush_hours_create_peaks() {
+        let rs = setup(6_000, 21);
+        let horizon = 24 * 60 * crate::MINUTE_CS;
+        let bucket = |t: Time| (t * 24 / horizon) as usize; // hour buckets
+        let mut counts = [0usize; 24];
+        for r in &rs {
+            counts[bucket(r.release).min(23)] += 1;
+        }
+        let avg = rs.len() / 24;
+        // Morning (08:00-09:00) and evening (17:00-19:00) clearly above average.
+        assert!(counts[8] > avg * 3 / 2, "morning peak missing: {counts:?}");
+        assert!(
+            counts[17] + counts[18] > avg * 3,
+            "evening peak missing: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn trip_lengths_look_like_taxi_trips() {
+        let g = grid_city(20, 20, 600.0, 3); // 11.4 km × 11.4 km city
+        let oracle = MatrixOracle::from_network(&g);
+        let cfg = RequestStreamConfig {
+            count: 1_000,
+            ..Default::default()
+        };
+        let mut gen = RequestStreamGenerator::new(&g, cfg, 4);
+        let rs = gen.generate(&oracle);
+        let mut lens: Vec<f64> = rs
+            .iter()
+            .map(|r| g.point(r.origin).euclidean_m(&g.point(r.destination)))
+            .collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lens[lens.len() / 2];
+        assert!(
+            (1_200.0..4_500.0).contains(&median),
+            "median trip {median} m out of urban range"
+        );
+        // Long tail exists but is bounded.
+        assert!(*lens.last().unwrap() <= 9_500.0);
+    }
+
+    #[test]
+    fn penalty_formula() {
+        assert_eq!(penalty_for(10, 123), 1_230);
+        assert_eq!(penalty_for(0, 123), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! One-stop scenario construction: network + oracle + fleet + stream.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use road_network::cache::LruCachedOracle;
+use road_network::graph::RoadNetwork;
+use road_network::oracle::{DijkstraOracle, DistanceOracle, HubLabelOracle};
+use road_network::VertexId;
+use urpsm_core::types::{Request, Time, Worker, WorkerId};
+
+use crate::network_gen::{grid_city, ring_radial_city};
+use crate::requests::{RequestStreamConfig, RequestStreamGenerator};
+use crate::MINUTE_CS;
+
+/// The two cities of §6.1, as synthetic stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum City {
+    /// Manhattan-style grid (NYC-like).
+    NycLike,
+    /// Ring-and-radial city (Chengdu-like).
+    ChengduLike,
+}
+
+impl City {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            City::NycLike => "NYC-like",
+            City::ChengduLike => "Chengdu-like",
+        }
+    }
+}
+
+/// A fully materialized experiment input.
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: String,
+    /// The road network.
+    pub network: Arc<RoadNetwork>,
+    /// Shared distance oracle (hub labels or Dijkstra, LRU-fronted).
+    pub oracle: Arc<dyn DistanceOracle>,
+    /// The fleet.
+    pub workers: Vec<Worker>,
+    /// The request stream, sorted by release time.
+    pub requests: Vec<Request>,
+    /// Default platform grid cell (meters).
+    pub grid_cell_m: f64,
+    /// Objective weight `α`.
+    pub alpha: u64,
+}
+
+/// Which shortest-path engine backs the scenario oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleKind {
+    /// Hub labels for small/medium networks, Dijkstra above 50k
+    /// vertices (labels get expensive to build).
+    #[default]
+    Auto,
+    /// Force hub labels (the paper's configuration).
+    HubLabels,
+    /// Force plain Dijkstra (reference/testing).
+    Dijkstra,
+}
+
+enum NetworkSpec {
+    Grid { nx: usize, ny: usize, block_m: f64 },
+    Ring { rings: usize, spokes: usize, gap_m: f64 },
+    Custom(Arc<RoadNetwork>),
+}
+
+/// Fluent builder for [`Scenario`]s.
+pub struct ScenarioBuilder {
+    name: String,
+    seed: u64,
+    spec: NetworkSpec,
+    workers: usize,
+    capacity_mu: u32,
+    requests: usize,
+    horizon: Time,
+    deadline_offset: Time,
+    penalty_factor: u64,
+    hotspots: usize,
+    grid_cell_m: f64,
+    alpha: u64,
+    oracle_kind: OracleKind,
+    lru_capacity: usize,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with quickstart-friendly defaults.
+    pub fn named(name: &str) -> Self {
+        ScenarioBuilder {
+            name: name.to_string(),
+            seed: 0,
+            spec: NetworkSpec::Grid {
+                nx: 16,
+                ny: 16,
+                block_m: 400.0,
+            },
+            workers: 10,
+            capacity_mu: 4,
+            requests: 100,
+            horizon: 60 * MINUTE_CS,
+            deadline_offset: 10 * MINUTE_CS,
+            penalty_factor: 10,
+            hotspots: 3,
+            grid_cell_m: 2_000.0,
+            alpha: 1,
+            oracle_kind: OracleKind::Auto,
+            lru_capacity: 1 << 20,
+        }
+    }
+
+    /// Uses an `nx × ny` grid city with 400 m blocks.
+    pub fn grid_city(mut self, nx: usize, ny: usize) -> Self {
+        self.spec = NetworkSpec::Grid {
+            nx,
+            ny,
+            block_m: 400.0,
+        };
+        self
+    }
+
+    /// Uses a ring-and-radial city.
+    pub fn ring_city(mut self, rings: usize, spokes: usize) -> Self {
+        self.spec = NetworkSpec::Ring {
+            rings,
+            spokes,
+            gap_m: 600.0,
+        };
+        self
+    }
+
+    /// Uses a prebuilt network.
+    pub fn custom_network(mut self, g: Arc<RoadNetwork>) -> Self {
+        self.spec = NetworkSpec::Custom(g);
+        self
+    }
+
+    /// Fleet size `|W|`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Mean worker capacity (Table 5's `K_w`, Gaussian `μ`).
+    pub fn capacity(mut self, mu: u32) -> Self {
+        self.capacity_mu = mu.max(1);
+        self
+    }
+
+    /// Stream size `|R|`.
+    pub fn requests(mut self, n: usize) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// Simulated period length.
+    pub fn horizon(mut self, cs: Time) -> Self {
+        self.horizon = cs;
+        self
+    }
+
+    /// Deadline offset Δ (so `e_r = t_r + Δ`).
+    pub fn deadline_offset(mut self, cs: Time) -> Self {
+        self.deadline_offset = cs;
+        self
+    }
+
+    /// Penalty factor β (so `p_r = β · dis(o_r, d_r)`).
+    pub fn penalty_factor(mut self, beta: u64) -> Self {
+        self.penalty_factor = beta;
+        self
+    }
+
+    /// Platform grid cell size in meters (Table 5's `g`).
+    pub fn grid_cell_m(mut self, m: f64) -> Self {
+        self.grid_cell_m = m;
+        self
+    }
+
+    /// Objective weight α.
+    pub fn alpha(mut self, a: u64) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Number of demand hotspots.
+    pub fn hotspots(mut self, k: usize) -> Self {
+        self.hotspots = k.max(1);
+        self
+    }
+
+    /// RNG seed (workers, stream, network perturbations).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Oracle engine selection.
+    pub fn oracle_kind(mut self, k: OracleKind) -> Self {
+        self.oracle_kind = k;
+        self
+    }
+
+    /// Materializes the scenario (builds network, labels, fleet and
+    /// stream — the preprocessing the paper excludes from timings).
+    pub fn build(self) -> Scenario {
+        let network: Arc<RoadNetwork> = match self.spec {
+            NetworkSpec::Grid { nx, ny, block_m } => {
+                Arc::new(grid_city(nx, ny, block_m, self.seed))
+            }
+            NetworkSpec::Ring { rings, spokes, gap_m } => {
+                Arc::new(ring_radial_city(rings, spokes, gap_m))
+            }
+            NetworkSpec::Custom(g) => g,
+        };
+
+        let base: Arc<dyn DistanceOracle> = match self.oracle_kind {
+            OracleKind::HubLabels => Arc::new(HubLabelOracle::build(network.clone())),
+            OracleKind::Dijkstra => Arc::new(DijkstraOracle::new(network.clone())),
+            OracleKind::Auto => {
+                if network.num_vertices() <= 50_000 {
+                    Arc::new(HubLabelOracle::build(network.clone()))
+                } else {
+                    Arc::new(DijkstraOracle::new(network.clone()))
+                }
+            }
+        };
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(LruCachedOracle::new(
+            base,
+            self.lru_capacity,
+            (self.lru_capacity / 64).max(1),
+        ));
+
+        // Fleet: uniform initial vertices, Gaussian capacities (§6.1).
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5eed));
+        let n_vertices = network.num_vertices() as u32;
+        let workers: Vec<Worker> = (0..self.workers as u32)
+            .map(|i| {
+                let sum4: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0;
+                let cap = (f64::from(self.capacity_mu) + (sum4 - 0.5) * 6.93).round();
+                Worker {
+                    id: WorkerId(i),
+                    origin: VertexId(rng.gen_range(0..n_vertices)),
+                    capacity: cap.max(1.0) as u32,
+                }
+            })
+            .collect();
+
+        let cfg = RequestStreamConfig {
+            count: self.requests,
+            horizon: self.horizon,
+            deadline_offset: self.deadline_offset,
+            penalty_factor: self.penalty_factor,
+            hotspots: self.hotspots,
+            ..Default::default()
+        };
+        let mut gen = RequestStreamGenerator::new(&network, cfg, self.seed.wrapping_add(0xcafe));
+        let requests = gen.generate(&*oracle);
+
+        Scenario {
+            name: self.name,
+            network,
+            oracle,
+            workers,
+            requests,
+            grid_cell_m: self.grid_cell_m,
+            alpha: self.alpha,
+        }
+    }
+}
+
+/// The scaled NYC-like preset: a 48×48 grid city (≈2.3k vertices, the
+/// paper's NYC graph ÷350), 600 workers, 6k requests over two hours.
+pub fn nyc_like(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::named("nyc-like")
+        .grid_city(48, 48)
+        .workers(600)
+        .requests(6_000)
+        .horizon(120 * MINUTE_CS)
+        .hotspots(5)
+        .penalty_factor(10)
+        .seed(seed)
+}
+
+/// The scaled Chengdu-like preset: a 24-ring × 48-spoke radial city
+/// (≈1.2k vertices), 200 workers, 3k requests over two hours.
+pub fn chengdu_like(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::named("chengdu-like")
+        .ring_city(24, 48)
+        .workers(200)
+        .requests(3_000)
+        .horizon(120 * MINUTE_CS)
+        .hotspots(4)
+        .penalty_factor(10)
+        .seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_scenario_builds() {
+        let s = ScenarioBuilder::named("t")
+            .grid_city(6, 6)
+            .workers(3)
+            .requests(20)
+            .seed(7)
+            .build();
+        assert_eq!(s.workers.len(), 3);
+        assert_eq!(s.requests.len(), 20);
+        assert_eq!(s.network.num_vertices(), 36);
+        assert!(s.requests.windows(2).all(|w| w[0].release <= w[1].release));
+        // Oracle answers and matches the network metric.
+        let r = &s.requests[0];
+        assert!(s.oracle.dis(r.origin, r.destination) > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ScenarioBuilder::named("t").grid_city(5, 5).requests(10).seed(3).build();
+        let b = ScenarioBuilder::named("t").grid_city(5, 5).requests(10).seed(3).build();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.workers, b.workers);
+    }
+
+    #[test]
+    fn capacities_center_on_mu() {
+        let s = ScenarioBuilder::named("t")
+            .grid_city(5, 5)
+            .workers(500)
+            .capacity(6)
+            .requests(1)
+            .seed(1)
+            .build();
+        let avg: f64 =
+            s.workers.iter().map(|w| f64::from(w.capacity)).sum::<f64>() / s.workers.len() as f64;
+        assert!((avg - 6.0).abs() < 0.5, "avg capacity {avg}");
+        assert!(s.workers.iter().all(|w| w.capacity >= 1));
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        // Tiny smoke build of the preset structure without paying the
+        // full label-construction bill.
+        let s = nyc_like(1).grid_city(8, 8).workers(10).requests(30).build();
+        assert_eq!(s.name, "nyc-like");
+        let s2 = chengdu_like(1).ring_city(4, 8).workers(5).requests(20).build();
+        assert_eq!(s2.name, "chengdu-like");
+        assert_eq!(s2.network.num_vertices(), 4 * 8 + 1);
+    }
+}

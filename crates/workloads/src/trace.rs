@@ -1,0 +1,188 @@
+//! Request-trace serialization (TLC-style CSV).
+//!
+//! The paper's datasets are per-trip records (pickup point, drop-off
+//! point, release time). This module reads/writes our [`Request`]
+//! streams in a line-oriented CSV so that (a) generated workloads are
+//! reproducible artifacts that can be diffed and shared, and (b) real
+//! trip records (e.g. an actual TLC extract mapped to network vertices)
+//! can be dropped into every experiment unchanged.
+//!
+//! ```text
+//! urpsm-trace v1
+//! id,origin,destination,release_cs,deadline_cs,penalty,capacity
+//! 0,14,27,0,60000,12340,1
+//! ```
+
+use std::io::{BufRead, Write};
+
+use road_network::VertexId;
+use urpsm_core::types::{Request, RequestId};
+
+const MAGIC: &str = "urpsm-trace v1";
+const HEADER: &str = "id,origin,destination,release_cs,deadline_cs,penalty,capacity";
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong magic / header line.
+    BadHeader,
+    /// A malformed record, with its line number (1-based).
+    BadRecord(usize, String),
+    /// Records out of release-time order (line number).
+    Unsorted(usize),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "bad trace header"),
+            TraceError::BadRecord(n, msg) => write!(f, "bad record at line {n}: {msg}"),
+            TraceError::Unsorted(n) => write!(f, "trace not sorted by release at line {n}"),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Writes a request stream as a v1 trace.
+pub fn save_trace<W: Write>(requests: &[Request], mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "{HEADER}")?;
+    for r in requests {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.id.0, r.origin.0, r.destination.0, r.release, r.deadline, r.penalty, r.capacity
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses a v1 trace; enforces release-time ordering (the simulator's
+/// input contract).
+pub fn load_trace<R: BufRead>(r: R) -> Result<Vec<Request>, TraceError> {
+    let mut lines = r.lines().enumerate();
+    let magic = lines
+        .next()
+        .ok_or(TraceError::BadHeader)?
+        .1
+        .map_err(|e| TraceError::Io(e.to_string()))?;
+    if magic.trim() != MAGIC {
+        return Err(TraceError::BadHeader);
+    }
+    let header = lines
+        .next()
+        .ok_or(TraceError::BadHeader)?
+        .1
+        .map_err(|e| TraceError::Io(e.to_string()))?;
+    if header.trim() != HEADER {
+        return Err(TraceError::BadHeader);
+    }
+
+    let mut out = Vec::new();
+    let mut last_release = 0u64;
+    for (idx, line) in lines {
+        let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(TraceError::BadRecord(lineno, "expected 7 fields".into()));
+        }
+        let parse = |i: usize, name: &str| -> Result<u64, TraceError> {
+            fields[i]
+                .trim()
+                .parse()
+                .map_err(|_| TraceError::BadRecord(lineno, format!("bad {name}")))
+        };
+        let r = Request {
+            id: RequestId(parse(0, "id")? as u32),
+            origin: VertexId(parse(1, "origin")? as u32),
+            destination: VertexId(parse(2, "destination")? as u32),
+            release: parse(3, "release")?,
+            deadline: parse(4, "deadline")?,
+            penalty: parse(5, "penalty")?,
+            capacity: parse(6, "capacity")? as u32,
+        };
+        if r.release < last_release {
+            return Err(TraceError::Unsorted(lineno));
+        }
+        last_release = r.release;
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requests::{RequestStreamConfig, RequestStreamGenerator};
+    use road_network::matrix::MatrixOracle;
+
+    fn sample_stream() -> Vec<Request> {
+        let g = crate::network_gen::grid_city(8, 8, 400.0, 1);
+        let oracle = MatrixOracle::from_network(&g);
+        let mut gen = RequestStreamGenerator::new(
+            &g,
+            RequestStreamConfig {
+                count: 120,
+                ..Default::default()
+            },
+            3,
+        );
+        gen.generate(&oracle)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let rs = sample_stream();
+        let mut buf = Vec::new();
+        save_trace(&rs, &mut buf).unwrap();
+        let back = load_trace(buf.as_slice()).unwrap();
+        assert_eq!(rs, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_header() {
+        assert_eq!(load_trace(&b"nope\n"[..]), Err(TraceError::BadHeader));
+        let bad_header = format!("{MAGIC}\nwrong,header\n");
+        assert_eq!(
+            load_trace(bad_header.as_bytes()),
+            Err(TraceError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let data = format!("{MAGIC}\n{HEADER}\n1,2,3\n");
+        assert!(matches!(
+            load_trace(data.as_bytes()),
+            Err(TraceError::BadRecord(3, _))
+        ));
+        let data = format!("{MAGIC}\n{HEADER}\n1,2,3,x,5,6,7\n");
+        assert!(matches!(
+            load_trace(data.as_bytes()),
+            Err(TraceError::BadRecord(3, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_traces() {
+        let data = format!(
+            "{MAGIC}\n{HEADER}\n0,1,2,500,1000,10,1\n1,3,4,400,900,10,1\n"
+        );
+        assert_eq!(load_trace(data.as_bytes()), Err(TraceError::Unsorted(4)));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("{MAGIC}\n{HEADER}\n\n0,1,2,0,100,10,1\n\n");
+        let rs = load_trace(data.as_bytes()).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! A rush-hour of NYC-like ride-sharing, comparing all five planners
+//! of the paper on the same request stream (a miniature Fig. 3 cell).
+//!
+//! ```sh
+//! cargo run --release --example ridesharing_day
+//! ```
+
+use urpsm::prelude::*;
+
+fn main() {
+    // Scaled NYC-like city: grid network, hotspot demand, rush-hour
+    // arrivals. Kept small enough to finish in seconds in this example;
+    // the bench harness runs the full Table-5 sweeps.
+    let scenario = urpsm::workloads::scenario::nyc_like(7)
+        .grid_city(24, 24)
+        .workers(60)
+        .requests(600)
+        .build();
+    println!(
+        "NYC-like: |V|={} |E|={} |W|={} |R|={}\n",
+        scenario.network.num_vertices(),
+        scenario.network.num_edges(),
+        scenario.workers.len(),
+        scenario.requests.len()
+    );
+
+    println!(
+        "{:<15} {:>12} {:>12} {:>14} {:>12}",
+        "algorithm", "served rate", "unified cost", "response time", "audit"
+    );
+    let mut planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(TSharePlanner::new()),
+        Box::new(KineticPlanner::new()),
+        Box::new(BatchPlanner::new()),
+        Box::new(GreedyDp::new()),
+        Box::new(PruneGreedyDp::new()),
+    ];
+    for planner in &mut planners {
+        let outcome = urpsm::simulate(&scenario, planner.as_mut());
+        println!(
+            "{:<15} {:>11.1}% {:>12} {:>14?} {:>12}",
+            planner.name(),
+            outcome.metrics.served_rate() * 100.0,
+            outcome.metrics.unified_cost.value(),
+            outcome.metrics.response_time(),
+            if outcome.audit_errors.is_empty() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
+        );
+        assert!(
+            outcome.audit_errors.is_empty(),
+            "{}: {:?}",
+            planner.name(),
+            outcome.audit_errors
+        );
+    }
+    println!(
+        "\nExpected shape (paper §6.2): pruneGreedyDP lowest cost & highest served\n\
+         rate; tshare fastest but lowest served rate; kinetic/batch slower."
+    );
+}

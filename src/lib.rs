@@ -1,0 +1,77 @@
+//! # URPSM: Unified Route Planning for Shared Mobility
+//!
+//! A faithful, production-quality Rust reproduction of
+//! *"A Unified Approach to Route Planning for Shared Mobility"*
+//! (Tong, Zeng, Zhou, Chen, Ye, Xu — PVLDB 11(11), 2018).
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! - [`network`] — road-network substrate: graphs, shortest-path oracles
+//!   (Dijkstra, hub labeling), LRU distance cache, grid indexes.
+//! - [`core`] — the paper's contribution: the URPSM problem model, the
+//!   three insertion operators (basic `O(n³)`, naive DP `O(n²)`,
+//!   linear DP `O(n)`), the Euclidean decision phase and the
+//!   `pruneGreedyDP` planner.
+//! - [`baselines`] — the three compared systems: `tshare` (ICDE'13),
+//!   `kinetic` (VLDB'14) and `batch` (PNAS'17), behind the same
+//!   [`core::planner::Planner`] trait.
+//! - [`simulator`] — an event-driven shared-mobility simulator with
+//!   worker movement, deadlines and a post-hoc feasibility auditor.
+//! - [`workloads`] — synthetic city networks and request streams that
+//!   stand in for the NYC / Chengdu taxi datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use urpsm::prelude::*;
+//!
+//! // A tiny 6x6 grid city with 2 workers and a handful of requests.
+//! let scenario = ScenarioBuilder::named("quickstart")
+//!     .grid_city(6, 6)
+//!     .workers(2)
+//!     .requests(8)
+//!     .seed(7)
+//!     .build();
+//! let mut planner = PruneGreedyDp::new();
+//! let outcome = urpsm::simulate(&scenario, &mut planner);
+//! assert_eq!(outcome.metrics.served + outcome.metrics.rejected, 8);
+//! assert!(outcome.audit_errors.is_empty());
+//! ```
+#![forbid(unsafe_code)]
+
+pub use road_network as network;
+pub use urpsm_baselines as baselines;
+pub use urpsm_core as core;
+pub use urpsm_simulator as simulator;
+pub use urpsm_workloads as workloads;
+
+use urpsm_core::planner::Planner;
+use urpsm_simulator::engine::{SimConfig, SimOutcome, Simulation};
+use urpsm_workloads::scenario::Scenario;
+
+/// Runs `planner` over a [`Scenario`] with the scenario's grid size
+/// and objective weight. Convenience glue between the `workloads` and
+/// `simulator` crates.
+pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
+    Simulation::new(
+        scenario.oracle.clone(),
+        scenario.workers.clone(),
+        scenario.requests.clone(),
+        SimConfig {
+            grid_cell_m: scenario.grid_cell_m,
+            alpha: scenario.alpha,
+            drain: true,
+        },
+    )
+    .run(planner)
+}
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::simulate;
+    pub use road_network::prelude::*;
+    pub use urpsm_baselines::prelude::*;
+    pub use urpsm_core::prelude::*;
+    pub use urpsm_simulator::prelude::*;
+    pub use urpsm_workloads::prelude::*;
+}

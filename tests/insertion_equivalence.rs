@@ -1,0 +1,153 @@
+//! Property tests: the three insertion operators are *extensionally
+//! identical* — same `Δ*`, same positions, same plan — on arbitrary
+//! metric instances, and the Euclidean lower bound never exceeds the
+//! exact optimum. This is the core correctness claim of §4: the linear
+//! DP is an optimization, not an approximation.
+
+use proptest::prelude::*;
+use urpsm::core::insertion::{
+    basic_insertion, linear_dp_insertion, naive_dp_insertion,
+};
+use urpsm::core::lower_bound::insertion_lower_bound;
+use urpsm::core::route::Route;
+use urpsm::core::types::{Request, RequestId, Time};
+use urpsm::network::geo::Point;
+use urpsm::network::matrix::MatrixOracle;
+use urpsm::network::oracle::DistanceOracle;
+use urpsm::network::{Cost, VertexId};
+
+/// Builds a metric oracle from random planar points: road distance =
+/// Euclidean meters × 100 (cs at 1 m/s), rounded up — rounding up
+/// preserves the triangle inequality (`⌈a⌉+⌈b⌉ ≥ ⌈a+b⌉`).
+fn oracle_from_points(points: &[(f64, f64)]) -> MatrixOracle {
+    let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let n = pts.len();
+    let rows: Vec<Vec<Cost>> = (0..n)
+        .map(|u| {
+            (0..n)
+                .map(|v| {
+                    if u == v {
+                        0
+                    } else {
+                        (pts[u].euclidean_m(&pts[v]) * 100.0).ceil() as Cost
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    MatrixOracle::from_matrix(&rows, pts, 1.0)
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    points: Vec<(f64, f64)>,
+    /// (origin, destination, deadline_slack, capacity) per request; the
+    /// last one is the probe request.
+    requests: Vec<(usize, usize, Time, u32)>,
+    worker_capacity: u32,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (8usize..24, 2u32..6).prop_flat_map(move |(n, cap)| {
+        (
+            proptest::collection::vec((0.0f64..5_000.0, 0.0f64..5_000.0), n),
+            proptest::collection::vec(
+                (0usize..n, 0usize..n, 1_000u64..2_000_000, 1u32..3),
+                1..10,
+            ),
+        )
+            .prop_map(move |(points, requests)| Instance {
+                points,
+                requests,
+                worker_capacity: cap,
+            })
+    })
+}
+
+fn mk_request(id: u32, _inst: &Instance, spec: (usize, usize, Time, u32), oracle: &MatrixOracle) -> Option<Request> {
+    let (o, d, slack, kr) = spec;
+    if o == d {
+        return None;
+    }
+    let (o, d) = (VertexId(o as u32), VertexId(d as u32));
+    Some(Request {
+        id: RequestId(id),
+        origin: o,
+        destination: d,
+        // Deadline: direct time plus a random slack, so instances mix
+        // feasible, tight and infeasible placements.
+        release: 0,
+        deadline: oracle.dis(o, d) + slack,
+        penalty: 1,
+        capacity: kr,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// basic ≡ naive ≡ linear: identical plans, and committed routes
+    /// stay feasible.
+    #[test]
+    fn operators_agree_exactly(inst in instance_strategy()) {
+        let oracle = oracle_from_points(&inst.points);
+        let mut route = Route::new(VertexId(0), 0);
+        for (i, spec) in inst.requests.iter().enumerate() {
+            let Some(r) = mk_request(i as u32, &inst, *spec, &oracle) else { continue };
+            let pb = basic_insertion(&route, inst.worker_capacity, &r, &oracle);
+            let pn = naive_dp_insertion(&route, inst.worker_capacity, &r, &oracle);
+            let pl = linear_dp_insertion(&route, inst.worker_capacity, &r, &oracle);
+            prop_assert_eq!(&pb, &pn, "basic vs naive at request {}", i);
+            prop_assert_eq!(&pb, &pl, "basic vs linear at request {}", i);
+            if let Some(plan) = pl {
+                route.apply_insertion(&plan, &r);
+                prop_assert_eq!(route.validate(inst.worker_capacity), Ok(()));
+            }
+        }
+    }
+
+    /// LBΔ* ≤ Δ* whenever an exact insertion exists; and an exact
+    /// insertion existing implies the relaxed bound exists too.
+    #[test]
+    fn lower_bound_is_sound(inst in instance_strategy()) {
+        let oracle = oracle_from_points(&inst.points);
+        let mut route = Route::new(VertexId(0), 0);
+        for (i, spec) in inst.requests.iter().enumerate() {
+            let Some(r) = mk_request(i as u32, &inst, *spec, &oracle) else { continue };
+            let direct = oracle.dis(r.origin, r.destination);
+            let lb = insertion_lower_bound(&route, inst.worker_capacity, &r, direct, &oracle);
+            let exact = linear_dp_insertion(&route, inst.worker_capacity, &r, &oracle);
+            if let Some(plan) = &exact {
+                let lb = lb.expect("exact feasible ⇒ relaxed feasible");
+                prop_assert!(lb <= plan.delta, "LB {} > Δ* {}", lb, plan.delta);
+            }
+            if let Some(plan) = exact {
+                route.apply_insertion(&plan, &r);
+            }
+        }
+    }
+
+    /// The committed Δ really is the route-length growth (Def. 6), and
+    /// schedules recompute consistently from scratch.
+    #[test]
+    fn delta_equals_distance_growth(inst in instance_strategy()) {
+        let oracle = oracle_from_points(&inst.points);
+        let mut route = Route::new(VertexId(0), 0);
+        for (i, spec) in inst.requests.iter().enumerate() {
+            let Some(r) = mk_request(i as u32, &inst, *spec, &oracle) else { continue };
+            if let Some(plan) = linear_dp_insertion(&route, inst.worker_capacity, &r, &oracle) {
+                let before = route.remaining_distance();
+                route.apply_insertion(&plan, &r);
+                prop_assert_eq!(route.remaining_distance(), before + plan.delta);
+                // Legs must be genuine oracle distances.
+                for k in 1..=route.len() {
+                    prop_assert_eq!(
+                        route.leg(k),
+                        oracle.dis(route.vertex(k - 1), route.vertex(k)),
+                        "leg {} corrupted", k
+                    );
+                }
+            }
+        }
+    }
+}

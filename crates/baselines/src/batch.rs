@@ -23,6 +23,10 @@ use urpsm_core::platform::{Outcome, PlatformState};
 use urpsm_core::route::{InsertionPlan, Route};
 use urpsm_core::types::{Request, RequestId, Time, WorkerId};
 
+/// Best group-to-worker assignment found so far: members served, total
+/// added distance, the worker, and the per-member insertion plans.
+type GroupAssignment = (usize, Cost, WorkerId, Vec<(Request, InsertionPlan)>);
+
 /// Configuration of the batch baseline.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
@@ -99,11 +103,7 @@ impl BatchPlanner {
         'next_request: for r in batch {
             for g in &mut groups {
                 if g.len() < self.cfg.max_group {
-                    let all_share = g
-                        .iter().copied()
-                        .collect::<Vec<_>>()
-                        .iter()
-                        .all(|m| self.shareable(state, now, m, &r));
+                    let all_share = g.iter().all(|m| self.shareable(state, now, m, &r));
                     if all_share {
                         g.push(r);
                         continue 'next_request;
@@ -130,7 +130,7 @@ impl BatchPlanner {
             state.candidate_workers(lead, direct.min(INF - 1), &mut candidates);
 
             // Simulate the whole group on a clone of each candidate.
-            let mut best: Option<(usize, Cost, WorkerId, Vec<(Request, InsertionPlan)>)> = None;
+            let mut best: Option<GroupAssignment> = None;
             for &w in &candidates {
                 if taken[w.idx()] {
                     continue;

@@ -197,9 +197,9 @@ impl KineticPlanner {
         // Wire precedence for request pairs already on the route.
         for i in 0..items.len() {
             if items[i].stop.kind == StopKind::Delivery {
-                items[i].pred = items[..i]
-                    .iter()
-                    .position(|p| p.stop.kind == StopKind::Pickup && p.stop.request == items[i].stop.request);
+                items[i].pred = items[..i].iter().position(|p| {
+                    p.stop.kind == StopKind::Pickup && p.stop.request == items[i].stop.request
+                });
             }
         }
         let pickup_idx = items.len();
@@ -419,7 +419,10 @@ mod tests {
                 Outcome::Assigned { delta, .. } => delta,
                 Outcome::Rejected => Cost::MAX,
             };
-            assert!(dk <= dp_delta, "kinetic ({dk}) worse than insertion ({dp_delta})");
+            assert!(
+                dk <= dp_delta,
+                "kinetic ({dk}) worse than insertion ({dp_delta})"
+            );
         }
     }
 

@@ -131,9 +131,7 @@ impl Planner for TSharePlanner {
         for &cand in &self.candidates {
             let w = WorkerId(cand as u32);
             let agent = state.agent(w);
-            if let Some(plan) =
-                basic_insertion(&agent.route, agent.worker.capacity, r, &*oracle)
-            {
+            if let Some(plan) = basic_insertion(&agent.route, agent.worker.capacity, r, &*oracle) {
                 let better = match &best {
                     None => true,
                     Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),

@@ -45,7 +45,11 @@ fn bench_decision(c: &mut Criterion) {
         let mut route = Route::new(VertexId(0), 0);
         let mut scratch = InsertionScratch::default();
         for i in 0..n / 2 {
-            let r = request(i as u32, ((i * 29) % 500) as u32, ((i * 29 + 40) % 500) as u32);
+            let r = request(
+                i as u32,
+                ((i * 29) % 500) as u32,
+                ((i * 29 + 40) % 500) as u32,
+            );
             let plan = linear_dp_insertion_with(&mut scratch, &route, u32::MAX, &r, &oracle)
                 .expect("insertable");
             route.apply_insertion(&plan, &r);

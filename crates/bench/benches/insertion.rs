@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use road_network::matrix::MatrixOracle;
 use road_network::{Cost, VertexId};
-use urpsm_core::insertion::{basic_insertion, linear_dp_insertion_with, naive_dp_insertion, InsertionScratch};
+use urpsm_core::insertion::{
+    basic_insertion, linear_dp_insertion_with, naive_dp_insertion, InsertionScratch,
+};
 use urpsm_core::route::Route;
 use urpsm_core::types::{Request, RequestId};
 
@@ -64,9 +66,11 @@ fn bench_insertion(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("basic_O(n^3)", n), &route, |b, route| {
             b.iter(|| basic_insertion(route, u32::MAX, &probe, &oracle))
         });
-        group.bench_with_input(BenchmarkId::new("naive_dp_O(n^2)", n), &route, |b, route| {
-            b.iter(|| naive_dp_insertion(route, u32::MAX, &probe, &oracle))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_dp_O(n^2)", n),
+            &route,
+            |b, route| b.iter(|| naive_dp_insertion(route, u32::MAX, &probe, &oracle)),
+        );
         let mut scratch = InsertionScratch::default();
         group.bench_with_input(BenchmarkId::new("linear_dp_O(n)", n), &route, |b, route| {
             b.iter(|| linear_dp_insertion_with(&mut scratch, route, u32::MAX, &probe, &oracle))

@@ -312,19 +312,17 @@ fn run_axis(axis: &Axis, parallel: bool) -> Vec<Vec<CellResult>> {
             .collect()
     };
     if parallel {
-        let mut results: Vec<Option<Vec<CellResult>>> =
-            (0..axis.cells.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for cell in &axis.cells {
-                handles.push(scope.spawn(move |_| job(cell)));
-            }
-            for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("cell thread"));
-            }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = axis
+                .cells
+                .iter()
+                .map(|cell| scope.spawn(move || job(cell)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cell thread"))
+                .collect()
         })
-        .expect("scope");
-        results.into_iter().map(|r| r.expect("filled")).collect()
     } else {
         axis.cells.iter().map(job).collect()
     }
@@ -533,7 +531,14 @@ fn queries_experiment(fx: &CityFixture, out: &mut impl Write) {
             "§6.2 — shortest-distance queries, GreedyDP vs pruneGreedyDP ({})",
             fx.city.name()
         ),
-        &["sweep", "value", "GreedyDP dis()", "prune dis()", "saved", "ratio"],
+        &[
+            "sweep",
+            "value",
+            "GreedyDP dis()",
+            "prune dis()",
+            "saved",
+            "ratio",
+        ],
     );
     let push_rows = |label: &str, cells: Vec<(String, Cell)>, t: &mut Table| {
         for (tick, cell) in cells {

@@ -97,7 +97,9 @@ impl CityFixture {
             .enumerate()
             .map(|(i, &origin)| {
                 let sum4: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0;
-                let cap = (f64::from(capacity_mu) + (sum4 - 0.5) * 6.93).round().max(1.0);
+                let cap = (f64::from(capacity_mu) + (sum4 - 0.5) * 6.93)
+                    .round()
+                    .max(1.0);
                 Worker {
                     id: WorkerId(i as u32),
                     origin,

@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn empty_network_rejected() {
-        assert_eq!(NetworkBuilder::new().finish().unwrap_err(), NetworkError::Empty);
+        assert_eq!(
+            NetworkBuilder::new().finish().unwrap_err(),
+            NetworkError::Empty
+        );
     }
 
     #[test]

@@ -154,8 +154,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
     /// Rough heap footprint in bytes (slots + map buckets).
     pub fn mem_bytes(&self) -> usize {
         self.slots.capacity() * std::mem::size_of::<Slot<K, V>>()
-            + self.map.capacity()
-                * (std::mem::size_of::<K>() + std::mem::size_of::<usize>() + 8)
+            + self.map.capacity() * (std::mem::size_of::<K>() + std::mem::size_of::<usize>() + 8)
     }
 }
 
@@ -342,7 +341,8 @@ mod tests {
             b.add_vertex(Point::new(f64::from(i) * 10.0, 0.0));
         }
         for i in 1..6u32 {
-            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 7).unwrap();
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 7)
+                .unwrap();
         }
         Arc::new(b.finish().unwrap())
     }

@@ -258,7 +258,13 @@ mod tests {
         let p = e.path_to(VertexId(3)).unwrap();
         assert_eq!(
             p,
-            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(4), VertexId(3)]
+            vec![
+                VertexId(0),
+                VertexId(1),
+                VertexId(2),
+                VertexId(4),
+                VertexId(3)
+            ]
         );
         // Path endpoints and step-wise consistency.
         assert_eq!(*p.first().unwrap(), VertexId(0));

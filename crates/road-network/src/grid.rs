@@ -75,10 +75,10 @@ impl GridIndex {
     /// The cell index containing `p` (clamped to the grid).
     #[inline]
     pub fn cell_of(&self, p: Point) -> usize {
-        let cx = (((p.x - self.bbox.min.x) / self.cell_m) as isize)
-            .clamp(0, self.nx as isize - 1) as usize;
-        let cy = (((p.y - self.bbox.min.y) / self.cell_m) as isize)
-            .clamp(0, self.ny as isize - 1) as usize;
+        let cx = (((p.x - self.bbox.min.x) / self.cell_m) as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let cy = (((p.y - self.bbox.min.y) / self.cell_m) as isize).clamp(0, self.ny as isize - 1)
+            as usize;
         cy * self.nx + cx
     }
 
@@ -266,7 +266,9 @@ impl SortedCellGrid {
     /// sorted lists — the number the paper's Fig. 5 memory panel tracks.
     pub fn mem_bytes(&self) -> usize {
         let lists: usize = self.sorted.iter().map(|r| r.capacity() * 8).sum();
-        self.base.mem_bytes() + lists + self.sorted.capacity() * std::mem::size_of::<Vec<(f32, u32)>>()
+        self.base.mem_bytes()
+            + lists
+            + self.sorted.capacity() * std::mem::size_of::<Vec<(f32, u32)>>()
     }
 }
 

@@ -125,7 +125,11 @@ impl HubLabels {
             }
             offsets.push(hubs.len() as u32);
         }
-        HubLabels { offsets, hubs, dists }
+        HubLabels {
+            offsets,
+            hubs,
+            dists,
+        }
     }
 
     /// Degree-descending construction order (ties by id), a standard
@@ -143,8 +147,14 @@ impl HubLabels {
         if u == v {
             return 0;
         }
-        let (ul, uh) = (self.offsets[u.idx()] as usize, self.offsets[u.idx() + 1] as usize);
-        let (vl, vh) = (self.offsets[v.idx()] as usize, self.offsets[v.idx() + 1] as usize);
+        let (ul, uh) = (
+            self.offsets[u.idx()] as usize,
+            self.offsets[u.idx() + 1] as usize,
+        );
+        let (vl, vh) = (
+            self.offsets[v.idx()] as usize,
+            self.offsets[v.idx() + 1] as usize,
+        );
         let mut i = ul;
         let mut j = vl;
         let mut best = INF;
@@ -277,7 +287,8 @@ mod tests {
             b.add_vertex(Point::new(f64::from(i), 0.0));
         }
         for i in 1..n {
-            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 1).unwrap();
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 1)
+                .unwrap();
         }
         let g = b.finish().unwrap();
         let mut order: Vec<VertexId> = vec![VertexId(n / 2)];

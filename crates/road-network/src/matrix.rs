@@ -203,7 +203,8 @@ mod tests {
             b.add_vertex(Point::new(f64::from(i) * 100.0, 0.0));
         }
         for i in 1..n {
-            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 10).unwrap();
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 10)
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -234,11 +235,7 @@ mod tests {
 
     #[test]
     fn explicit_matrix_roundtrip() {
-        let rows = vec![
-            vec![0, 5, 9],
-            vec![5, 0, 4],
-            vec![9, 4, 0],
-        ];
+        let rows = vec![vec![0, 5, 9], vec![5, 0, 4], vec![9, 4, 0]];
         let pts = vec![
             Point::new(0.0, 0.0),
             Point::new(50.0, 0.0),
@@ -256,11 +253,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "triangle inequality")]
     fn rejects_non_metric_matrix() {
-        let rows = vec![
-            vec![0, 1, 100],
-            vec![1, 0, 1],
-            vec![100, 1, 0],
-        ];
+        let rows = vec![vec![0, 1, 100], vec![1, 0, 1], vec![100, 1, 0]];
         let pts = vec![Point::default(); 3];
         MatrixOracle::from_matrix(&rows, pts, 23.0);
     }

@@ -339,7 +339,11 @@ mod tests {
         assert_eq!(s.dis, 2);
         assert_eq!(s.euc, 1);
         assert_eq!(s.path, 1);
-        let later = QueryStats { dis: 5, path: 1, euc: 2 };
+        let later = QueryStats {
+            dis: 5,
+            path: 1,
+            euc: 2,
+        };
         assert_eq!(later.since(&s).dis, 3);
         c.reset();
         assert_eq!(c.stats(), QueryStats::default());

@@ -103,40 +103,36 @@ pub fn audit_events(
                     errors.push(format!("{}: rejected but has stops", r.id));
                 }
             }
-            (Some(w), false) => {
-                match (tr.pickup, tr.delivery) {
-                    (Some((tp, wp)), Some((td, wd))) => {
-                        if wp != w || wd != w {
-                            errors.push(format!("{}: served by wrong worker", r.id));
-                        }
-                        if tp < r.release {
-                            errors.push(format!(
-                                "{}: picked up at {tp} before release {}",
-                                r.id, r.release
-                            ));
-                        }
-                        if td > r.deadline {
-                            errors.push(format!(
-                                "{}: delivered at {td} after deadline {}",
-                                r.id, r.deadline
-                            ));
-                        }
-                        if tp > td {
-                            errors.push(format!("{}: delivery before pickup", r.id));
-                        }
+            (Some(w), false) => match (tr.pickup, tr.delivery) {
+                (Some((tp, wp)), Some((td, wd))) => {
+                    if wp != w || wd != w {
+                        errors.push(format!("{}: served by wrong worker", r.id));
                     }
-                    _ => errors.push(format!("{}: assigned but not completed", r.id)),
+                    if tp < r.release {
+                        errors.push(format!(
+                            "{}: picked up at {tp} before release {}",
+                            r.id, r.release
+                        ));
+                    }
+                    if td > r.deadline {
+                        errors.push(format!(
+                            "{}: delivered at {td} after deadline {}",
+                            r.id, r.deadline
+                        ));
+                    }
+                    if tp > td {
+                        errors.push(format!("{}: delivery before pickup", r.id));
+                    }
                 }
-            }
+                _ => errors.push(format!("{}: assigned but not completed", r.id)),
+            },
         }
     }
 
     if let Some((driven, planned)) = driven_planned {
         for (i, (d, p)) in driven.iter().zip(planned).enumerate() {
             if d != p {
-                errors.push(format!(
-                    "w{i}: driven distance {d} != planned distance {p}"
-                ));
+                errors.push(format!("w{i}: driven distance {d} != planned distance {p}"));
             }
         }
     }
@@ -225,12 +221,38 @@ mod tests {
         let rs = [req(1, 0, 10_000), req(2, 0, 10_000)];
         let ws = [worker(1)];
         let evs = [
-            SimEvent::Assigned { t: 0, r: RequestId(1), w: WorkerId(0), delta: 1 },
-            SimEvent::Assigned { t: 0, r: RequestId(2), w: WorkerId(0), delta: 1 },
-            SimEvent::Pickup { t: 10, r: RequestId(1), w: WorkerId(0) },
-            SimEvent::Pickup { t: 20, r: RequestId(2), w: WorkerId(0) },
-            SimEvent::Delivery { t: 30, r: RequestId(1), w: WorkerId(0) },
-            SimEvent::Delivery { t: 40, r: RequestId(2), w: WorkerId(0) },
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 1,
+            },
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(2),
+                w: WorkerId(0),
+                delta: 1,
+            },
+            SimEvent::Pickup {
+                t: 10,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Pickup {
+                t: 20,
+                r: RequestId(2),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 30,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 40,
+                r: RequestId(2),
+                w: WorkerId(0),
+            },
         ];
         let errs = audit_events(&rs, &ws, &evs, None);
         assert!(errs.iter().any(|e| e.contains("capacity exceeded")));
@@ -264,8 +286,15 @@ mod tests {
         let rs = [req(1, 0, 10_000)];
         let ws = [worker(4)];
         let evs = [
-            SimEvent::Rejected { t: 0, r: RequestId(1) },
-            SimEvent::Pickup { t: 5, r: RequestId(1), w: WorkerId(0) },
+            SimEvent::Rejected {
+                t: 0,
+                r: RequestId(1),
+            },
+            SimEvent::Pickup {
+                t: 5,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
         ];
         let errs = audit_events(&rs, &ws, &evs, None);
         assert!(errs.iter().any(|e| e.contains("rejected but has stops")));

@@ -99,10 +99,10 @@ impl Simulation {
         let mut rejected = 0usize;
 
         let record = |outs: Vec<(urpsm_core::types::RequestId, Outcome)>,
-                          t: Time,
-                          events: &mut Vec<SimEvent>,
-                          served: &mut usize,
-                          rejected: &mut usize| {
+                      t: Time,
+                      events: &mut Vec<SimEvent>,
+                      served: &mut usize,
+                      rejected: &mut usize| {
             for (rid, out) in outs {
                 match out {
                     Outcome::Assigned { worker, delta } => {
@@ -163,7 +163,13 @@ impl Simulation {
                 last_time = tw;
             }
 
-            advance_all(&mut state, &mut motions, r.release, &mut events, &*self.oracle);
+            advance_all(
+                &mut state,
+                &mut motions,
+                r.release,
+                &mut events,
+                &*self.oracle,
+            );
             last_time = r.release;
             let t0 = Instant::now();
             let outs = planner.on_request(&mut state, r);
@@ -208,7 +214,13 @@ impl Simulation {
                 .max()
                 .unwrap_or(last_time)
                 .max(last_time);
-            advance_all(&mut state, &mut motions, horizon, &mut events, &*self.oracle);
+            advance_all(
+                &mut state,
+                &mut motions,
+                horizon,
+                &mut events,
+                &*self.oracle,
+            );
         }
 
         let driven: Vec<Cost> = motions.iter().map(|m| m.driven).collect();
@@ -256,7 +268,8 @@ mod tests {
             b.add_vertex(Point::new(i as f64, 0.0));
         }
         for i in 1..n as u32 {
-            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100).unwrap();
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100)
+                .unwrap();
         }
         b.set_top_speed_mps(1.0);
         Arc::new(MatrixOracle::from_network(&b.finish().unwrap()))

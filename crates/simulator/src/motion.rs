@@ -137,7 +137,8 @@ mod tests {
             b.add_vertex(Point::new(i as f64, 0.0));
         }
         for i in 1..n as u32 {
-            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100).unwrap();
+            b.add_edge_with_cost(VertexId(i - 1), VertexId(i), 100)
+                .unwrap();
         }
         b.set_top_speed_mps(1.0);
         Arc::new(MatrixOracle::from_network(&b.finish().unwrap()))

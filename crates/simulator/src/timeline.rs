@@ -135,11 +135,32 @@ mod tests {
     fn buckets_count_events() {
         let requests = [req(0, 50), req(1, 150), req(2, 160)];
         let events = [
-            SimEvent::Assigned { t: 50, r: RequestId(0), w: WorkerId(0), delta: 1 },
-            SimEvent::Rejected { t: 150, r: RequestId(1) },
-            SimEvent::Assigned { t: 160, r: RequestId(2), w: WorkerId(0), delta: 1 },
-            SimEvent::Pickup { t: 210, r: RequestId(0), w: WorkerId(0) },
-            SimEvent::Delivery { t: 320, r: RequestId(0), w: WorkerId(0) },
+            SimEvent::Assigned {
+                t: 50,
+                r: RequestId(0),
+                w: WorkerId(0),
+                delta: 1,
+            },
+            SimEvent::Rejected {
+                t: 150,
+                r: RequestId(1),
+            },
+            SimEvent::Assigned {
+                t: 160,
+                r: RequestId(2),
+                w: WorkerId(0),
+                delta: 1,
+            },
+            SimEvent::Pickup {
+                t: 210,
+                r: RequestId(0),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 320,
+                r: RequestId(0),
+                w: WorkerId(0),
+            },
         ];
         let tl = Timeline::build(&requests, &events, 100);
         assert_eq!(tl.buckets.len(), 4);
@@ -156,9 +177,22 @@ mod tests {
     fn cumulative_rate_and_peak() {
         let requests = [req(0, 0), req(1, 0), req(2, 250)];
         let events = [
-            SimEvent::Assigned { t: 0, r: RequestId(0), w: WorkerId(0), delta: 1 },
-            SimEvent::Rejected { t: 10, r: RequestId(1) },
-            SimEvent::Assigned { t: 250, r: RequestId(2), w: WorkerId(0), delta: 1 },
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(0),
+                w: WorkerId(0),
+                delta: 1,
+            },
+            SimEvent::Rejected {
+                t: 10,
+                r: RequestId(1),
+            },
+            SimEvent::Assigned {
+                t: 250,
+                r: RequestId(2),
+                w: WorkerId(0),
+                delta: 1,
+            },
         ];
         let tl = Timeline::build(&requests, &events, 100);
         let rates = tl.cumulative_served_rate();
@@ -169,8 +203,7 @@ mod tests {
 
     #[test]
     fn sparkline_scales() {
-        let requests: Vec<Request> =
-            (0..10).map(|i| req(i, Time::from(i) * 100)).collect();
+        let requests: Vec<Request> = (0..10).map(|i| req(i, Time::from(i) * 100)).collect();
         let tl = Timeline::build(&requests, &[], 100);
         let s = tl.arrivals_sparkline();
         assert_eq!(s.chars().count(), tl.buckets.len());

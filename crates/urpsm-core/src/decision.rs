@@ -48,9 +48,13 @@ pub fn decision_phase(
     let mut lower_bounds = Vec::with_capacity(candidates.len());
     for &w in candidates {
         let agent = state.agent(w);
-        if let Some(lb) =
-            insertion_lower_bound(&agent.route, agent.worker.capacity, r, direct, state.oracle())
-        {
+        if let Some(lb) = insertion_lower_bound(
+            &agent.route,
+            agent.worker.capacity,
+            r,
+            direct,
+            state.oracle(),
+        ) {
             lower_bounds.push((lb, w));
         }
     }
@@ -164,13 +168,7 @@ mod tests {
         // can't even straight-line there, worker 1 (at 50) can.
         let r = request(49, 50, 300, 1_000_000);
         let direct = state.oracle().dis(r.origin, r.destination); // 200
-        let out = decision_phase(
-            1,
-            &state,
-            &[WorkerId(0), WorkerId(1)],
-            &r,
-            direct,
-        );
+        let out = decision_phase(1, &state, &[WorkerId(0), WorkerId(1)], &r, direct);
         assert_eq!(out.lower_bounds.len(), 1);
         assert_eq!(out.lower_bounds[0].1, WorkerId(1));
     }

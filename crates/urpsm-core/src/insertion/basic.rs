@@ -134,15 +134,9 @@ mod tests {
     /// euclidean bounds stay below).
     fn line_oracle(n: usize) -> MatrixOracle {
         let rows: Vec<Vec<Cost>> = (0..n)
-            .map(|u| {
-                (0..n)
-                    .map(|v| (u.abs_diff(v) as Cost) * 100)
-                    .collect()
-            })
+            .map(|u| (0..n).map(|v| (u.abs_diff(v) as Cost) * 100).collect())
             .collect();
-        let points = (0..n)
-            .map(|k| Point::new(k as f64 * 100.0, 0.0))
-            .collect();
+        let points = (0..n).map(|k| Point::new(k as f64 * 100.0, 0.0)).collect();
         MatrixOracle::from_matrix(&rows, points, 1_000.0)
     }
 
@@ -169,7 +163,12 @@ mod tests {
         // Drive 0→2 (200) then 2→5 (300).
         assert_eq!(plan.delta, 500);
         assert_eq!(plan.direct, 300);
-        assert!(matches!(plan.shape, PlanShape::Append { dis_tail_pickup: 200 }));
+        assert!(matches!(
+            plan.shape,
+            PlanShape::Append {
+                dis_tail_pickup: 200
+            }
+        ));
     }
 
     #[test]
@@ -218,7 +217,10 @@ mod tests {
         let plan = basic_insertion(&route, 2, &r3, &oracle);
         // … so the only feasible plans put it entirely after the drops.
         let plan = plan.expect("can still serve after the others");
-        assert!(plan.pickup_after >= 3, "must start after deliveries: {plan:?}");
+        assert!(
+            plan.pickup_after >= 3,
+            "must start after deliveries: {plan:?}"
+        );
         // And with capacity 3 it fits inside at zero detour.
         let plan3 = basic_insertion(&route, 3, &r3, &oracle).unwrap();
         assert_eq!(plan3.delta, 0);
@@ -268,11 +270,8 @@ mod tests {
         route.apply_insertion(&p2, &r2);
         assert!(route.validate(4).is_ok());
         // Pickups in order 5, 6; deliveries 14, 15.
-        let kinds: Vec<(u32, StopKind)> = route
-            .stops()
-            .iter()
-            .map(|s| (s.vertex.0, s.kind))
-            .collect();
+        let kinds: Vec<(u32, StopKind)> =
+            route.stops().iter().map(|s| (s.vertex.0, s.kind)).collect();
         assert_eq!(
             kinds,
             vec![

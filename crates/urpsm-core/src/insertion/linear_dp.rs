@@ -83,7 +83,14 @@ pub fn linear_dp_trace(
 ) -> (Option<InsertionPlan>, LinearDpTrace) {
     let mut scratch = InsertionScratch::default();
     let mut trace = LinearDpTrace::default();
-    let plan = run(&mut scratch, route, worker_capacity, r, oracle, Some(&mut trace));
+    let plan = run(
+        &mut scratch,
+        route,
+        worker_capacity,
+        r,
+        oracle,
+        Some(&mut trace),
+    );
     (plan, trace)
 }
 
@@ -136,9 +143,7 @@ fn run(
         // Lemma 5 with i = j reduces to picked[j] ≤ K_w − K_r; Lemma 4
         // (3) is the rider's own delivery deadline, which subsumes the
         // pickup deadline.
-        if route.picked(j) <= free
-            && cost_add3(route.arr(j), dis_or[j], direct) <= r.deadline
-        {
+        if route.picked(j) <= free && cost_add3(route.arr(j), dis_or[j], direct) <= r.deadline {
             let delta = if j == n {
                 cost_add(dis_or[j], direct)
             } else {
@@ -181,8 +186,7 @@ fn run(
                 dio = INF;
                 plc = NIL;
             } else {
-                let det_cand =
-                    cost_add(dis_or[j], dis_or[j + 1]).saturating_sub(route.leg(j + 1));
+                let det_cand = cost_add(dis_or[j], dis_or[j + 1]).saturating_sub(route.leg(j + 1));
                 // Candidate must respect the slack at its own position
                 // (Eq. 11, second case) and ties go to the newcomer
                 // (Eq. 12, fourth case).
@@ -272,8 +276,16 @@ mod tests {
         for (id, o, d, ddl) in script {
             let r = request(id, o, d, ddl);
             let pl = linear_dp_insertion(&route, 6, &r, &oracle);
-            assert_eq!(pl, basic_insertion(&route, 6, &r, &oracle), "vs basic at r{id}");
-            assert_eq!(pl, naive_dp_insertion(&route, 6, &r, &oracle), "vs naive at r{id}");
+            assert_eq!(
+                pl,
+                basic_insertion(&route, 6, &r, &oracle),
+                "vs basic at r{id}"
+            );
+            assert_eq!(
+                pl,
+                naive_dp_insertion(&route, 6, &r, &oracle),
+                "vs naive at r{id}"
+            );
             if let Some(p) = pl {
                 route.apply_insertion(&p, &r);
                 assert!(route.validate(6).is_ok());
@@ -293,8 +305,8 @@ mod tests {
     fn paper_example_2_table_3_golden() {
         // Vertex ids 0..=7 are the paper's v1..=v8.
         let mut m = vec![vec![20u64; 8]; 8];
-        for i in 0..8 {
-            m[i][i] = 0;
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 0;
         }
         let mut set = |a: usize, b: usize, d: u64| {
             m[a - 1][b - 1] = d;

@@ -25,7 +25,9 @@ pub mod linear_dp;
 pub mod naive_dp;
 
 pub use basic::basic_insertion;
-pub use linear_dp::{linear_dp_insertion, linear_dp_insertion_with, InsertionScratch, LinearDpTrace};
+pub use linear_dp::{
+    linear_dp_insertion, linear_dp_insertion_with, InsertionScratch, LinearDpTrace,
+};
 pub use naive_dp::naive_dp_insertion;
 
 use road_network::oracle::DistanceOracle;

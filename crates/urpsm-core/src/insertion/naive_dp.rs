@@ -46,12 +46,13 @@ pub fn naive_dp_insertion(
     let pickup_ddl = r.deadline.saturating_sub(direct);
 
     let mut best: Option<(PlanKey, usize, usize, Cost)> = None;
-    let consider = |i: usize, j: usize, delta: Cost, best: &mut Option<(PlanKey, usize, usize, Cost)>| {
-        let key = plan_key(delta, i, j, n);
-        if best.as_ref().is_none_or(|(bk, ..)| key < *bk) {
-            *best = Some((key, i, j, delta));
-        }
-    };
+    let consider =
+        |i: usize, j: usize, delta: Cost, best: &mut Option<(PlanKey, usize, usize, Cost)>| {
+            let key = plan_key(delta, i, j, n);
+            if best.as_ref().is_none_or(|(bk, ..)| key < *bk) {
+                *best = Some((key, i, j, delta));
+            }
+        };
 
     for i in 0..=n {
         // Safe monotone replacement for Algo. 2 line 4: once even an

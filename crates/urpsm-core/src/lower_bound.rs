@@ -68,18 +68,21 @@ pub fn insertion_lower_bound(
         }
 
         // i < j through Dioeuc (Eq. 17 row 3, relaxed Corollary 1).
-        if j > 0 && dio < INF && route.picked(j) <= free
-            && cost_add3(route.arr(j), dio, e_dr_j) <= r.deadline {
-                let ldet_j = if j == n {
-                    e_dr_j
-                } else {
-                    cost_add(e_dr_j, euc_dr(j + 1)).saturating_sub(route.leg(j + 1))
-                };
-                let lb = cost_add(dio, ldet_j);
-                if lb <= route.slack(j) && best.is_none_or(|b| lb < b) {
-                    best = Some(lb);
-                }
+        if j > 0
+            && dio < INF
+            && route.picked(j) <= free
+            && cost_add3(route.arr(j), dio, e_dr_j) <= r.deadline
+        {
+            let ldet_j = if j == n {
+                e_dr_j
+            } else {
+                cost_add(e_dr_j, euc_dr(j + 1)).saturating_sub(route.leg(j + 1))
+            };
+            let lb = cost_add(dio, ldet_j);
+            if lb <= route.slack(j) && best.is_none_or(|b| lb < b) {
+                best = Some(lb);
             }
+        }
 
         // Relaxed safe prune (mirrors Algo. 3 line 8 with euc ≤ dis, so
         // it fires no earlier than the exact prune would).

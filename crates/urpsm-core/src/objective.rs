@@ -101,8 +101,7 @@ impl ObjectivePreset {
 /// Returned as `i128` — revenue can be negative when workers drive more
 /// than fares cover.
 pub fn revenue(fare: u64, wage: u64, served_direct_sum: Cost, total_distance: Cost) -> i128 {
-    i128::from(fare) * i128::from(served_direct_sum)
-        - i128::from(wage) * i128::from(total_distance)
+    i128::from(fare) * i128::from(served_direct_sum) - i128::from(wage) * i128::from(total_distance)
 }
 
 /// Total platform revenue through the unified-cost identity (Eq. 4):
@@ -163,7 +162,12 @@ mod tests {
                 .map(|(d, _)| d + rng.gen_range(0..500))
                 .sum();
 
-            let served_direct: Cost = directs.iter().zip(&served).filter(|(_, s)| **s).map(|(d, _)| *d).sum();
+            let served_direct: Cost = directs
+                .iter()
+                .zip(&served)
+                .filter(|(_, s)| **s)
+                .map(|(d, _)| *d)
+                .sum();
             let all_direct: Cost = directs.iter().sum();
             let penalty: Cost = directs
                 .iter()

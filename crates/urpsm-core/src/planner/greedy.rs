@@ -80,9 +80,7 @@ impl DpEngine {
 
         match best {
             Some((delta, w, plan)) => {
-                if self.cfg.strict_economics
-                    && self.cfg.alpha.saturating_mul(delta) > r.penalty
-                {
+                if self.cfg.strict_economics && self.cfg.alpha.saturating_mul(delta) > r.penalty {
                     state.reject(r);
                     Outcome::Rejected
                 } else {
@@ -245,7 +243,12 @@ mod tests {
             let mut greedy = GreedyDp::new();
             let mut pruned = PruneGreedyDp::new();
             let mut outs = Vec::new();
-            for (id, o, d) in [(1u32, 17u32, 60u32), (2, 100, 120), (3, 55, 42), (4, 199, 150)] {
+            for (id, o, d) in [
+                (1u32, 17u32, 60u32),
+                (2, 100, 120),
+                (3, 55, 42),
+                (4, 199, 150),
+            ] {
                 let r = request(id, o, d, 1_000_000, u64::MAX / 4);
                 let out = if prune {
                     pruned.on_request(&mut state, &r)

@@ -52,11 +52,7 @@ pub trait Planner {
 
     /// Handles a newly released request. May return outcomes for this
     /// request and/or buffered earlier ones (batch planners defer).
-    fn on_request(
-        &mut self,
-        state: &mut PlatformState,
-        r: &Request,
-    ) -> Vec<(RequestId, Outcome)>;
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)>;
 
     /// Notifies the planner that simulation time advanced to `now`
     /// (batch planners flush epochs here). Default: no-op.

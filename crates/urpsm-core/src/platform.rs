@@ -249,7 +249,10 @@ impl PlatformState {
                 .map(|s| (s.request, s.kind))
                 .collect();
             for key in &before {
-                assert!(after.contains(key), "reorder dropped committed stop {key:?}");
+                assert!(
+                    after.contains(key),
+                    "reorder dropped committed stop {key:?}"
+                );
             }
             assert!(
                 after.contains(&(r.id, crate::types::StopKind::Delivery)),

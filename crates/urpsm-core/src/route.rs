@@ -267,7 +267,10 @@ impl Route {
     pub fn apply_insertion(&mut self, plan: &InsertionPlan, r: &Request) {
         let n = self.stops.len();
         let (i, j) = (plan.pickup_after, plan.delivery_after);
-        assert!(i <= j && j <= n, "plan positions out of range: ({i},{j}) with n={n}");
+        assert!(
+            i <= j && j <= n,
+            "plan positions out of range: ({i},{j}) with n={n}"
+        );
 
         let pickup = Stop {
             request: r.id,
@@ -457,7 +460,9 @@ mod tests {
             delivery_after: 0,
             delta: 30 + 50,
             direct: 50,
-            shape: PlanShape::Append { dis_tail_pickup: 30 },
+            shape: PlanShape::Append {
+                dis_tail_pickup: 30,
+            },
         };
         route.apply_insertion(&plan, &r);
         assert_eq!(route.len(), 2);
@@ -489,7 +494,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 100,
                 direct: 40,
-                shape: PlanShape::Append { dis_tail_pickup: 60 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 60,
+                },
             },
             &first,
         );
@@ -535,7 +542,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 100,
                 direct: 70,
-                shape: PlanShape::Append { dis_tail_pickup: 30 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 30,
+                },
             },
             &r1,
         );
@@ -585,7 +594,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 0,
                 direct: 50,
-                shape: PlanShape::Append { dis_tail_pickup: 10 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 10,
+                },
             },
             &r1,
         );
@@ -595,7 +606,9 @@ mod tests {
                 delivery_after: 2,
                 delta: 0,
                 direct: 60,
-                shape: PlanShape::Append { dis_tail_pickup: 20 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 20,
+                },
             },
             &r2,
         );
@@ -635,7 +648,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 0,
                 direct: 40,
-                shape: PlanShape::Append { dis_tail_pickup: 25 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 25,
+                },
             },
             &r,
         );
@@ -665,7 +680,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 0,
                 direct: 40,
-                shape: PlanShape::Append { dis_tail_pickup: 25 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 25,
+                },
             },
             &r,
         );
@@ -681,7 +698,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 0,
                 direct: 40,
-                shape: PlanShape::Append { dis_tail_pickup: 25 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 25,
+                },
             },
             &r,
         );
@@ -721,7 +740,9 @@ mod tests {
                 delivery_after: 0,
                 delta: 0,
                 direct: 40,
-                shape: PlanShape::Append { dis_tail_pickup: 25 },
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 25,
+                },
             },
             &r,
         );

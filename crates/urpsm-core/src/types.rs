@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 pub type Time = u64;
 
 /// Identifier of a worker (driver / courier).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -28,9 +26,7 @@ impl std::fmt::Display for WorkerId {
 }
 
 /// Identifier of a request (rider / parcel).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(pub u32);
 
 impl RequestId {

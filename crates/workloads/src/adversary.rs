@@ -57,7 +57,10 @@ impl AdversaryInstance {
     /// Samples an instance with `n` vertices, edge cost `edge_cost`
     /// and slack `epsilon` (the lemmas' ε > 0).
     pub fn sample(lemma: Lemma, n: usize, edge_cost: Cost, epsilon: Cost, seed: u64) -> Self {
-        assert!(n >= 4 && n.is_multiple_of(2), "the proofs use an even cycle");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "the proofs use an even cycle"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let network = Arc::new(cycle_graph(n, edge_cost));
         let release: Time = n as Time * edge_cost;
@@ -178,8 +181,7 @@ mod tests {
         let mut served = 0;
         for seed in 0..200 {
             let inst = AdversaryInstance::sample(Lemma::MaxServed, n, 100, 50, seed);
-            let reachable =
-                inst.cycle_distance(inst.worker.origin, inst.request.origin) <= 50;
+            let reachable = inst.cycle_distance(inst.worker.origin, inst.request.origin) <= 50;
             if reachable {
                 served += 1;
             }

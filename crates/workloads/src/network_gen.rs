@@ -142,7 +142,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 80);
         assert!(g.is_connected());
         // Roughly 2·nx·ny edges minus borders and the 5% removals.
-        assert!(g.num_edges() > 110 && g.num_edges() < 142, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 110 && g.num_edges() < 142,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]
@@ -151,17 +155,19 @@ mod tests {
         let b = grid_city(6, 6, 150.0, 42);
         let c = grid_city(6, 6, 150.0, 43);
         assert_eq!(a.num_edges(), b.num_edges());
-        assert!(a.num_edges() != c.num_edges() || {
-            // Same count is possible; compare adjacency then.
-            let mut differs = false;
-            for v in a.vertices() {
-                if a.neighbors(v).collect::<Vec<_>>() != c.neighbors(v).collect::<Vec<_>>() {
-                    differs = true;
-                    break;
+        assert!(
+            a.num_edges() != c.num_edges() || {
+                // Same count is possible; compare adjacency then.
+                let mut differs = false;
+                for v in a.vertices() {
+                    if a.neighbors(v).collect::<Vec<_>>() != c.neighbors(v).collect::<Vec<_>>() {
+                        differs = true;
+                        break;
+                    }
                 }
+                differs
             }
-            differs
-        });
+        );
     }
 
     #[test]

@@ -65,8 +65,16 @@ pub enum OracleKind {
 }
 
 enum NetworkSpec {
-    Grid { nx: usize, ny: usize, block_m: f64 },
-    Ring { rings: usize, spokes: usize, gap_m: f64 },
+    Grid {
+        nx: usize,
+        ny: usize,
+        block_m: f64,
+    },
+    Ring {
+        rings: usize,
+        spokes: usize,
+        gap_m: f64,
+    },
     Custom(Arc<RoadNetwork>),
 }
 
@@ -212,9 +220,11 @@ impl ScenarioBuilder {
             NetworkSpec::Grid { nx, ny, block_m } => {
                 Arc::new(grid_city(nx, ny, block_m, self.seed))
             }
-            NetworkSpec::Ring { rings, spokes, gap_m } => {
-                Arc::new(ring_radial_city(rings, spokes, gap_m))
-            }
+            NetworkSpec::Ring {
+                rings,
+                spokes,
+                gap_m,
+            } => Arc::new(ring_radial_city(rings, spokes, gap_m)),
             NetworkSpec::Custom(g) => g,
         };
 
@@ -322,8 +332,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ScenarioBuilder::named("t").grid_city(5, 5).requests(10).seed(3).build();
-        let b = ScenarioBuilder::named("t").grid_city(5, 5).requests(10).seed(3).build();
+        let a = ScenarioBuilder::named("t")
+            .grid_city(5, 5)
+            .requests(10)
+            .seed(3)
+            .build();
+        let b = ScenarioBuilder::named("t")
+            .grid_city(5, 5)
+            .requests(10)
+            .seed(3)
+            .build();
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.workers, b.workers);
     }
@@ -349,7 +367,11 @@ mod tests {
         // full label-construction bill.
         let s = nyc_like(1).grid_city(8, 8).workers(10).requests(30).build();
         assert_eq!(s.name, "nyc-like");
-        let s2 = chengdu_like(1).ring_city(4, 8).workers(5).requests(20).build();
+        let s2 = chengdu_like(1)
+            .ring_city(4, 8)
+            .workers(5)
+            .requests(20)
+            .build();
         assert_eq!(s2.name, "chengdu-like");
         assert_eq!(s2.network.num_vertices(), 4 * 8 + 1);
     }

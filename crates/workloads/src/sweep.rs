@@ -73,7 +73,13 @@ pub fn table5(city: City) -> SweepParams {
             },
             deadline_cs: SweepAxis {
                 name: "e_r (min)",
-                values: vec![minutes(5), minutes(10), minutes(15), minutes(20), minutes(25)],
+                values: vec![
+                    minutes(5),
+                    minutes(10),
+                    minutes(15),
+                    minutes(20),
+                    minutes(25),
+                ],
                 default_idx: 1,
             },
             capacity: SweepAxis {
@@ -103,7 +109,13 @@ pub fn table5(city: City) -> SweepParams {
             },
             deadline_cs: SweepAxis {
                 name: "e_r (min)",
-                values: vec![minutes(5), minutes(10), minutes(15), minutes(20), minutes(25)],
+                values: vec![
+                    minutes(5),
+                    minutes(10),
+                    minutes(15),
+                    minutes(20),
+                    minutes(25),
+                ],
                 default_idx: 1,
             },
             capacity: SweepAxis {

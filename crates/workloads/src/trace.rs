@@ -173,9 +173,7 @@ mod tests {
 
     #[test]
     fn rejects_unsorted_traces() {
-        let data = format!(
-            "{MAGIC}\n{HEADER}\n0,1,2,500,1000,10,1\n1,3,4,400,900,10,1\n"
-        );
+        let data = format!("{MAGIC}\n{HEADER}\n0,1,2,500,1000,10,1\n1,3,4,400,900,10,1\n");
         assert_eq!(load_trace(data.as_bytes()), Err(TraceError::Unsorted(4)));
     }
 

@@ -37,7 +37,11 @@ fn main() {
 
     let mut planner = PruneGreedyDp::new();
     let outcome = urpsm::simulate(&scenario, &mut planner);
-    assert!(outcome.audit_errors.is_empty(), "{:?}", outcome.audit_errors);
+    assert!(
+        outcome.audit_errors.is_empty(),
+        "{:?}",
+        outcome.audit_errors
+    );
 
     println!(
         "delivered {}/{} orders ({:.1}%), unified cost {}",
@@ -74,7 +78,10 @@ fn main() {
 
     // Demand over time (10-minute buckets) and the lunch-rush peak.
     let timeline = Timeline::build(&scenario.requests, &outcome.events, 10 * MINUTE_CS);
-    println!("\norder arrivals per 10 min: {}", timeline.arrivals_sparkline());
+    println!(
+        "\norder arrivals per 10 min: {}",
+        timeline.arrivals_sparkline()
+    );
     if let Some(peak) = timeline.peak_bucket() {
         println!(
             "peak bucket: {} orders starting at t={} min",
@@ -82,6 +89,13 @@ fn main() {
             peak.start / MINUTE_CS
         );
     }
-    let final_rate = timeline.cumulative_served_rate().last().copied().unwrap_or(0.0);
-    println!("cumulative served rate at close: {:.1}%", final_rate * 100.0);
+    let final_rate = timeline
+        .cumulative_served_rate()
+        .last()
+        .copied()
+        .unwrap_or(0.0);
+    println!(
+        "cumulative served rate at close: {:.1}%",
+        final_rate * 100.0
+    );
 }

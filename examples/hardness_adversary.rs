@@ -39,7 +39,10 @@ fn run_draw(inst: &AdversaryInstance) -> (u64, u64) {
 fn main() {
     const DRAWS: u64 = 400;
     println!("Lemma 1 (α=0, p=1): expected unserved requests, ALG vs OPT\n");
-    println!("{:>6} {:>12} {:>12} {:>10}", "|V|", "E[ALG]", "E[OPT]", "ratio");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "|V|", "E[ALG]", "E[OPT]", "ratio"
+    );
     for n in [8usize, 16, 32, 64, 128] {
         let mut alg_sum = 0u64;
         let mut opt_sum = 0u64;
@@ -56,7 +59,11 @@ fn main() {
             n,
             ealg,
             eopt,
-            if eopt == 0.0 { "∞".to_string() } else { format!("{:.1}", ealg / eopt) }
+            if eopt == 0.0 {
+                "∞".to_string()
+            } else {
+                format!("{:.1}", ealg / eopt)
+            }
         );
     }
     println!(

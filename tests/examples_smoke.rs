@@ -1,0 +1,36 @@
+//! Smoke test: every example binary must run to successful exit.
+//!
+//! Examples are the repo's executable documentation; this keeps them
+//! from rotting silently. They are run through `cargo run --example`
+//! sequentially in one test so concurrent invocations don't fight over
+//! the target-directory build lock.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "ridesharing_day",
+    "food_delivery",
+    "objective_presets",
+    "hardness_adversary",
+];
+
+#[test]
+fn all_examples_exit_successfully() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -5,9 +5,7 @@
 //! DP is an optimization, not an approximation.
 
 use proptest::prelude::*;
-use urpsm::core::insertion::{
-    basic_insertion, linear_dp_insertion, naive_dp_insertion,
-};
+use urpsm::core::insertion::{basic_insertion, linear_dp_insertion, naive_dp_insertion};
 use urpsm::core::lower_bound::insertion_lower_bound;
 use urpsm::core::route::Route;
 use urpsm::core::types::{Request, RequestId, Time};
@@ -51,10 +49,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
     (8usize..24, 2u32..6).prop_flat_map(move |(n, cap)| {
         (
             proptest::collection::vec((0.0f64..5_000.0, 0.0f64..5_000.0), n),
-            proptest::collection::vec(
-                (0usize..n, 0usize..n, 1_000u64..2_000_000, 1u32..3),
-                1..10,
-            ),
+            proptest::collection::vec((0usize..n, 0usize..n, 1_000u64..2_000_000, 1u32..3), 1..10),
         )
             .prop_map(move |(points, requests)| Instance {
                 points,
@@ -64,7 +59,12 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
     })
 }
 
-fn mk_request(id: u32, _inst: &Instance, spec: (usize, usize, Time, u32), oracle: &MatrixOracle) -> Option<Request> {
+fn mk_request(
+    id: u32,
+    _inst: &Instance,
+    spec: (usize, usize, Time, u32),
+    oracle: &MatrixOracle,
+) -> Option<Request> {
     let (o, d, slack, kr) = spec;
     if o == d {
         return None;

@@ -39,18 +39,12 @@ fn hub_labels_match_dijkstra_on_ring_city() {
 
 #[test]
 fn euclidean_bound_holds_on_generated_cities() {
-    for g in [
-        grid_city(10, 10, 420.0, 9),
-        ring_radial_city(5, 12, 700.0),
-    ] {
+    for g in [grid_city(10, 10, 420.0, 9), ring_radial_city(5, 12, 700.0)] {
         let g = Arc::new(g);
         let hub = HubLabelOracle::build(g.clone());
         for u in g.vertices().step_by(7) {
             for v in g.vertices().step_by(3) {
-                assert!(
-                    hub.euc(u, v) <= hub.dis(u, v),
-                    "euc > dis at ({u},{v})"
-                );
+                assert!(hub.euc(u, v) <= hub.dis(u, v), "euc > dis at ({u},{v})");
             }
         }
     }
@@ -95,7 +89,10 @@ fn lru_decorator_is_transparent_and_reduces_backend_traffic() {
         "second pass should be all cache hits: {backend} backend queries"
     );
     let (hits, misses) = cached.dis_hit_stats();
-    assert!(hits >= queries.len() as u64 / 2, "hits {hits} misses {misses}");
+    assert!(
+        hits >= queries.len() as u64 / 2,
+        "hits {hits} misses {misses}"
+    );
 
     // Paths: cached result equals a fresh one, forwards and reversed.
     let p1 = cached.shortest_path(VertexId(0), VertexId(48)).unwrap();
@@ -105,7 +102,11 @@ fn lru_decorator_is_transparent_and_reduces_backend_traffic() {
     assert_eq!(p1.first(), p2r.first());
     assert_eq!(p1.last(), p2r.last());
     let d: u64 = p1.windows(2).map(|w| cached.dis(w[0], w[1])).sum();
-    assert_eq!(d, cached.dis(VertexId(0), VertexId(48)), "path length = dis");
+    assert_eq!(
+        d,
+        cached.dis(VertexId(0), VertexId(48)),
+        "path length = dis"
+    );
 }
 
 #[test]

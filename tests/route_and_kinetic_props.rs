@@ -114,6 +114,7 @@ fn brute_force_best(
     capacity: u32,
     oracle: &dyn DistanceOracle,
 ) -> Option<Cost> {
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         cur: VertexId,
         time: Time,
@@ -154,7 +155,18 @@ fn brute_force_best(
                 continue;
             }
             used[i] = true;
-            dfs(v, t2, ob2, used, items, pred, capacity, oracle, total + step, best);
+            dfs(
+                v,
+                t2,
+                ob2,
+                used,
+                items,
+                pred,
+                capacity,
+                oracle,
+                total + step,
+                best,
+            );
             used[i] = false;
         }
     }

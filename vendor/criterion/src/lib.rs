@@ -1,0 +1,292 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides a source-compatible harness that really measures: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! measurement window, and the per-iteration mean / min / max are
+//! printed as plain text. No statistics engine, no HTML reports — but
+//! the numbers are honest wall-clock means, good enough to track
+//! regressions in `BENCH_NOTES.md` until the real crate is available.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Top-level benchmark driver, constructed by [`criterion_main!`].
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target wall-clock time for one benchmark's measurement phase.
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            measurement: Duration::from_millis(400),
+            warm_up: Duration::from_millis(80),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from CLI args: known flags are ignored (the
+    /// shim has no baselines/plots), unknown flags are warned about on
+    /// stderr — their values would otherwise be misread as filters —
+    /// and the first free argument is a substring filter on benchmark
+    /// ids, like upstream criterion.
+    pub fn from_args() -> Self {
+        // Flags cargo or upstream-criterion muscle memory may pass.
+        // `--bench`/`--test`/`--quiet`/`--verbose` take no value; the
+        // rest consume the following argument.
+        const VALUELESS: &[&str] = &["--bench", "--test", "--quiet", "--verbose", "-v", "-q"];
+        const WITH_VALUE: &[&str] = &["--measurement-time", "--warm-up-time", "--sample-size"];
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if WITH_VALUE.contains(&a.as_str()) {
+                args.next(); // swallow the value; the shim keeps its own
+            } else if a.starts_with('-') {
+                if !VALUELESS.contains(&a.as_str()) {
+                    eprintln!(
+                        "criterion shim: ignoring unrecognized flag {a} \
+                         (a following value argument would be read as a filter)"
+                    );
+                }
+            } else {
+                c.filter = Some(a);
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.render(None), &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "{id:<56} time: {:>12}/iter  (min {}, max {}, {} iters)",
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.iters
+            ),
+            None => println!("{id:<56} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the shim sizes its sample by
+    /// measurement time rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.render(None));
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render(None));
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; exists for compatibility).
+    pub fn finish(self) {}
+}
+
+/// A function + parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, rendered as
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, _group: Option<&str>) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then batched timing until the
+    /// measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for at least `warm_up`, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measurement: ~20 batches filling the measurement window.
+        let batch = ((self.measurement.as_nanos() as f64 / 20.0 / est_ns).ceil() as u64).max(1);
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos();
+            total_ns += ns;
+            total_iters += batch;
+            let per = ns as f64 / batch as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns as f64 / total_iters as f64,
+            min_ns,
+            max_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}

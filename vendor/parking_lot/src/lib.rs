@@ -1,0 +1,41 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides an API-compatible `Mutex` backed by `std::sync::Mutex`.
+//! Poisoning is swallowed (parking_lot has no poisoning), which is the
+//! only observable behavioral difference.
+#![forbid(unsafe_code)]
+
+use std::sync::PoisonError;
+
+/// A mutual exclusion primitive with parking_lot's infallible `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available. Never fails:
+    /// a poisoned lock is recovered, matching parking_lot's semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The registry is unreachable in the build environment. Nothing in the
+//! workspace actually serializes today (there is no `serde_json`); the
+//! derives on core types exist so downstream tooling can opt in later.
+//! This shim therefore provides `Serialize` / `Deserialize` as marker
+//! traits plus no-op derive macros, keeping every `#[derive(...)]` and
+//! `use serde::...` line source-compatible with upstream serde.
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,108 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The shim traits are pure markers, so the derive only needs the type
+//! name (and generics, if any) to emit an empty `impl`. Parsing is done
+//! with `proc_macro` alone — `syn`/`quote` are registry crates and thus
+//! unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generics_decl, generics_use)` from a
+/// struct/enum/union definition, e.g. `("Foo", "<T: Bound>", "<T>")`.
+fn parse_item(input: TokenStream) -> (String, String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]` / doc comments) and visibility.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Possible `pub(...)` restriction group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    // Collect generics `<...>` if present (angle brackets arrive as
+    // individual `<` / `>` puncts; track nesting depth).
+    let mut decl = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                decl.push_str(&tt.to_string());
+                decl.push(' ');
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    // Parameter *use* list: declaration minus bounds. Good enough for
+    // the simple `<T>` / `<'a, T>` shapes; types with bounds in their
+    // generics would need real serde anyway.
+    let usage = decl
+        .replace(' ', "")
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|param| param.split(':').next().unwrap_or(param).to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let usage = if usage.is_empty() {
+        String::new()
+    } else {
+        format!("<{usage}>")
+    };
+    (name, decl, usage)
+}
+
+/// Emits an empty `impl serde::Serialize for T`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, decl, usage) = parse_item(input);
+    format!("impl {decl} ::serde::Serialize for {name} {usage} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Emits an empty `impl<'de> serde::Deserialize<'de> for T`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, decl, usage) = parse_item(input);
+    let params = decl
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .trim();
+    let merged = if params.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {params}>")
+    };
+    format!("impl {merged} ::serde::Deserialize<'de> for {name} {usage} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

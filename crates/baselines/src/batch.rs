@@ -234,6 +234,21 @@ impl Planner for BatchPlanner {
     fn next_wakeup(&self) -> Option<Time> {
         self.epoch_end
     }
+
+    /// A buffered request can still be withdrawn before its epoch is
+    /// processed: drop it and report the cancellation as absorbed —
+    /// no platform-level route surgery is needed because no route ever
+    /// saw it.
+    fn on_cancel(&mut self, _state: &mut PlatformState, r: RequestId) -> bool {
+        let before = self.buffer.len();
+        self.buffer.retain(|b| b.id != r);
+        if self.buffer.is_empty() {
+            // Nothing left in the epoch: close it so `next_wakeup`
+            // doesn't fire for an empty buffer.
+            self.epoch_end = None;
+        }
+        self.buffer.len() != before
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +356,24 @@ mod tests {
         st.advance_clock(600);
         let out = p.on_time(&mut st, 600);
         assert_eq!(out[0].1, Outcome::Rejected);
+    }
+
+    #[test]
+    fn cancel_drops_buffered_requests() {
+        let mut st = state(&[0]);
+        let mut p = BatchPlanner::new();
+        p.on_request(&mut st, &request(1, 5, 10, 0, 100_000));
+        p.on_request(&mut st, &request(2, 6, 11, 100, 100_000));
+        assert!(p.on_cancel(&mut st, RequestId(1)));
+        assert_eq!(p.buffered(), 1);
+        // Unknown id: not absorbed.
+        assert!(!p.on_cancel(&mut st, RequestId(7)));
+        // Last one out closes the epoch.
+        assert!(p.on_cancel(&mut st, RequestId(2)));
+        assert_eq!(p.buffered(), 0);
+        assert_eq!(p.next_wakeup(), None);
+        st.advance_clock(600);
+        assert!(p.on_time(&mut st, 600).is_empty());
     }
 
     #[test]

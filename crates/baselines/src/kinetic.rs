@@ -294,6 +294,9 @@ impl KineticPlanner {
 }
 
 impl Planner for KineticPlanner {
+    // Default lifecycle hooks apply: the branch-and-bound search is
+    // re-run from the live routes on every request, so cancellations
+    // and fleet churn are visible without planner-side bookkeeping.
     fn name(&self) -> &'static str {
         "kinetic"
     }

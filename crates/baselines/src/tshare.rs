@@ -89,6 +89,9 @@ impl TSharePlanner {
 }
 
 impl Planner for TSharePlanner {
+    // Default lifecycle hooks apply: T-Share decides immediately, and
+    // its sorted-cell index lives in the platform state, which already
+    // drops retired workers and admits joiners on its own.
     fn name(&self) -> &'static str {
         "tshare"
     }

@@ -594,7 +594,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
     let cell = fx.default_cell();
 
     let run = |planner: &mut dyn Planner, oracle: Arc<dyn DistanceOracle>| {
-        let sim = Simulation::new(
+        let sim = Simulation::new_sorted_unchecked(
             oracle,
             cell.workers.clone(),
             cell.requests.clone(),
@@ -742,7 +742,8 @@ fn hardness(out: &mut impl Write) {
                         alpha: inst.alpha,
                         drain: true,
                     },
-                );
+                )
+                .expect("single-request stream is sorted");
                 let mut planner = PruneGreedyDp::from_config(PlannerConfig {
                     alpha: inst.alpha,
                     strict_economics: false,

@@ -107,7 +107,8 @@ pub struct CellResult {
 pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
     let counting: Arc<CountingOracle<Arc<dyn DistanceOracle>>> =
         Arc::new(CountingOracle::new(cell.oracle.clone()));
-    let sim = Simulation::new(
+    // Streams out of the workload generators are sorted by construction.
+    let sim = Simulation::new_sorted_unchecked(
         counting.clone(),
         cell.workers.clone(),
         cell.requests.clone(),

@@ -18,6 +18,7 @@ struct RequestTrace {
     assigned_to: Option<WorkerId>,
     assigned_at: Option<Time>,
     rejected: bool,
+    cancelled: bool,
     pickup: Option<(Time, WorkerId)>,
     delivery: Option<(Time, WorkerId)>,
 }
@@ -29,6 +30,12 @@ struct RequestTrace {
 /// after release, delivery by deadline, pickup before delivery by the
 /// assigned worker, per-worker capacity over the event timeline, and
 /// (if `driven`/`planned` are provided) exact distance accounting.
+///
+/// Lifecycle events are first-class: a `Cancelled` request must never
+/// have been picked up and must see no further stops; an `Unassigned`
+/// strip (worker departure) legitimately re-opens the decision, so a
+/// second `Assigned`/`Rejected` for that request is not a double
+/// decision. `workers` must list every worker that ever joined.
 pub fn audit_events(
     requests: &[Request],
     workers: &[Worker],
@@ -50,7 +57,7 @@ pub fn audit_events(
         match *ev {
             SimEvent::Assigned { t, r, w, .. } => {
                 let tr = traces.entry(r).or_default();
-                if tr.assigned_to.is_some() || tr.rejected {
+                if tr.assigned_to.is_some() || tr.rejected || tr.cancelled {
                     errors.push(format!("{r}: double decision"));
                 }
                 tr.assigned_to = Some(w);
@@ -58,11 +65,39 @@ pub fn audit_events(
             }
             SimEvent::Rejected { r, .. } => {
                 let tr = traces.entry(r).or_default();
-                if tr.assigned_to.is_some() || tr.rejected {
+                if tr.assigned_to.is_some() || tr.rejected || tr.cancelled {
                     errors.push(format!("{r}: double decision"));
                 }
                 tr.rejected = true;
             }
+            SimEvent::Cancelled { t, r } => {
+                let tr = traces.entry(r).or_default();
+                if tr.pickup.is_some() {
+                    errors.push(format!("{r}: cancelled at t={t} after pickup"));
+                }
+                if tr.cancelled {
+                    errors.push(format!("{r}: cancelled twice"));
+                }
+                tr.cancelled = true;
+                // The prior assignment (if any) is void.
+                tr.assigned_to = None;
+                tr.assigned_at = None;
+            }
+            SimEvent::Unassigned { t, r, w } => {
+                let tr = traces.entry(r).or_default();
+                if tr.assigned_to != Some(w) {
+                    errors.push(format!(
+                        "{r}: unassigned at t={t} from {w} without assignment"
+                    ));
+                }
+                if tr.pickup.is_some() {
+                    errors.push(format!("{r}: unassigned at t={t} after pickup"));
+                }
+                // The decision is re-opened; a fresh one must follow.
+                tr.assigned_to = None;
+                tr.assigned_at = None;
+            }
+            SimEvent::WorkerJoined { .. } | SimEvent::WorkerLeft { .. } => {}
             SimEvent::Pickup { t, r, w } => {
                 let tr = traces.entry(r).or_default();
                 if tr.pickup.is_some() {
@@ -95,6 +130,15 @@ pub fn audit_events(
 
     for r in requests {
         let tr = &traces[&r.id];
+        if tr.cancelled {
+            // Terminal state: whatever was planned has been released;
+            // any later stop is a violation (pickup-after-cancel was
+            // flagged in the event pass).
+            if tr.delivery.is_some() {
+                errors.push(format!("{}: cancelled but delivered", r.id));
+            }
+            continue;
+        }
         match (tr.assigned_to, tr.rejected) {
             (None, false) => errors.push(format!("{}: no decision recorded", r.id)),
             (Some(_), true) => errors.push(format!("{}: both assigned and rejected", r.id)),
@@ -279,6 +323,134 @@ mod tests {
         let ws = [worker(4)];
         let errs = audit_events(&rs, &ws, &[], Some((&[100], &[90])));
         assert!(errs[0].contains("driven distance"));
+    }
+
+    #[test]
+    fn cancellation_lifecycle_is_clean() {
+        let rs = [req(1, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Cancelled {
+                t: 50,
+                r: RequestId(1),
+            },
+        ];
+        assert!(audit_events(&rs, &ws, &evs, None).is_empty());
+    }
+
+    #[test]
+    fn catches_pickup_after_cancel_and_cancelled_delivery() {
+        let rs = [req(1, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Pickup {
+                t: 20,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Cancelled {
+                t: 50,
+                r: RequestId(1),
+            },
+            SimEvent::Delivery {
+                t: 70,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+        ];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("after pickup")));
+        assert!(errs.iter().any(|e| e.contains("cancelled but delivered")));
+    }
+
+    #[test]
+    fn unassign_reopens_the_decision() {
+        let rs = [req(1, 0, 10_000)];
+        let ws = [
+            worker(4),
+            Worker {
+                id: WorkerId(1),
+                origin: VertexId(0),
+                capacity: 4,
+            },
+        ];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::WorkerLeft {
+                t: 5,
+                w: WorkerId(0),
+            },
+            SimEvent::Unassigned {
+                t: 5,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Assigned {
+                t: 5,
+                r: RequestId(1),
+                w: WorkerId(1),
+                delta: 12,
+            },
+            SimEvent::Pickup {
+                t: 100,
+                r: RequestId(1),
+                w: WorkerId(1),
+            },
+            SimEvent::Delivery {
+                t: 200,
+                r: RequestId(1),
+                w: WorkerId(1),
+            },
+        ];
+        assert!(audit_events(&rs, &ws, &evs, None).is_empty());
+
+        // Without the Unassigned strip, the re-decision is illegal.
+        let evs_bad = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Assigned {
+                t: 5,
+                r: RequestId(1),
+                w: WorkerId(1),
+                delta: 12,
+            },
+        ];
+        let errs = audit_events(&rs, &ws, &evs_bad, None);
+        assert!(errs.iter().any(|e| e.contains("double decision")));
+    }
+
+    #[test]
+    fn catches_unassign_without_assignment() {
+        let rs = [req(1, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [SimEvent::Unassigned {
+            t: 5,
+            r: RequestId(1),
+            w: WorkerId(0),
+        }];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("without assignment")));
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! The simulation engine: replays a dynamic request stream against a
 //! planner, moving workers in between (§6.1's setup).
+//!
+//! Since the event-stream redesign this is a thin batch driver over
+//! [`MobilityService`]: it turns the pre-sorted request list into
+//! [`PlatformEvent::RequestArrived`] events, feeds them one at a time,
+//! and drains. Anything the engine can replay, a live caller can
+//! stream — the two paths share every line of decision, motion, and
+//! audit code (`tests/service_replay.rs` pins the equivalence).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use road_network::oracle::DistanceOracle;
-use road_network::Cost;
+use urpsm_core::event::PlatformEvent;
 use urpsm_core::planner::Planner;
-use urpsm_core::platform::{Outcome, PlatformState};
-use urpsm_core::types::{Request, StopKind, Time, Worker, WorkerId};
+use urpsm_core::platform::PlatformState;
+use urpsm_core::types::{Request, Worker};
 
-use crate::audit::audit_events;
 use crate::metrics::SimMetrics;
-use crate::motion::WorkerMotion;
+use crate::service::MobilityService;
 use crate::SimEvent;
 
 /// Simulation parameters.
@@ -38,6 +43,33 @@ impl Default for SimConfig {
     }
 }
 
+/// Why a [`Simulation`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The request stream is not sorted by release time; the first
+    /// offending position is reported (requests `index - 1` and
+    /// `index` are out of order). Sorting is the caller's bug to see
+    /// and fix — not a reason to abort the process.
+    UnsortedRequests {
+        /// Index of the first request released before its predecessor.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnsortedRequests { index } => write!(
+                f,
+                "requests must be sorted by release time (request at index {index} \
+                 is released before its predecessor)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A prepared simulation: oracle + fleet + request stream.
 pub struct Simulation {
     oracle: Arc<dyn DistanceOracle>,
@@ -60,17 +92,41 @@ pub struct SimOutcome {
 }
 
 impl Simulation {
-    /// Builds a simulation. Requests must be sorted by release time.
-    ///
-    /// # Panics
-    /// If requests are not sorted by release time.
+    /// Builds a simulation. Requests must be sorted by release time;
+    /// an unsorted stream is reported as [`SimError::UnsortedRequests`]
+    /// instead of aborting the process.
     pub fn new(
         oracle: Arc<dyn DistanceOracle>,
         workers: Vec<Worker>,
         requests: Vec<Request>,
         config: SimConfig,
+    ) -> Result<Self, SimError> {
+        if let Some(index) = requests
+            .windows(2)
+            .position(|w| w[0].release > w[1].release)
+        {
+            return Err(SimError::UnsortedRequests { index: index + 1 });
+        }
+        Ok(Simulation {
+            oracle,
+            workers,
+            requests,
+            config,
+        })
+    }
+
+    /// Builds a simulation without checking the stream order — for
+    /// benches that construct sorted streams in hot loops. Feeding an
+    /// unsorted stream here is a logic error: release times would be
+    /// clamped to the running clock (see [`MobilityService::submit`]),
+    /// silently distorting the replay.
+    pub fn new_sorted_unchecked(
+        oracle: Arc<dyn DistanceOracle>,
+        workers: Vec<Worker>,
+        requests: Vec<Request>,
+        config: SimConfig,
     ) -> Self {
-        assert!(
+        debug_assert!(
             requests.windows(2).all(|w| w[0].release <= w[1].release),
             "requests must be sorted by release time"
         );
@@ -84,172 +140,23 @@ impl Simulation {
 
     /// Runs the stream against `planner` and returns metrics, the final
     /// state, the event log and the audit verdict.
+    ///
+    /// This is the one-shot batch path: it streams every request into a
+    /// [`MobilityService`] (borrowing `planner` through the
+    /// `impl Planner for &mut P` adapter) and drains.
     pub fn run(&self, planner: &mut dyn Planner) -> SimOutcome {
         let start_time = self.requests.first().map_or(0, |r| r.release);
-        let mut state = PlatformState::new(
+        let mut service = MobilityService::new(
             Arc::clone(&self.oracle),
-            &self.workers,
-            self.config.grid_cell_m,
+            self.workers.clone(),
+            Box::new(planner),
+            self.config,
             start_time,
         );
-        let mut motions: Vec<WorkerMotion> = vec![WorkerMotion::default(); self.workers.len()];
-        let mut events: Vec<SimEvent> = Vec::with_capacity(self.requests.len() * 4);
-        let mut planning_time = Duration::ZERO;
-        let mut served = 0usize;
-        let mut rejected = 0usize;
-
-        let record = |outs: Vec<(urpsm_core::types::RequestId, Outcome)>,
-                      t: Time,
-                      events: &mut Vec<SimEvent>,
-                      served: &mut usize,
-                      rejected: &mut usize| {
-            for (rid, out) in outs {
-                match out {
-                    Outcome::Assigned { worker, delta } => {
-                        *served += 1;
-                        events.push(SimEvent::Assigned {
-                            t,
-                            r: rid,
-                            w: worker,
-                            delta,
-                        });
-                    }
-                    Outcome::Rejected => {
-                        *rejected += 1;
-                        events.push(SimEvent::Rejected { t, r: rid });
-                    }
-                }
-            }
-        };
-
-        let advance_all = |state: &mut PlatformState,
-                           motions: &mut [WorkerMotion],
-                           t: Time,
-                           events: &mut Vec<SimEvent>,
-                           oracle: &dyn DistanceOracle| {
-            state.advance_clock(t);
-            for (i, m) in motions.iter_mut().enumerate() {
-                let w = WorkerId(i as u32);
-                m.advance(state, w, t, oracle, |stop, at| {
-                    events.push(match stop.kind {
-                        StopKind::Pickup => SimEvent::Pickup {
-                            t: at,
-                            r: stop.request,
-                            w,
-                        },
-                        StopKind::Delivery => SimEvent::Delivery {
-                            t: at,
-                            r: stop.request,
-                            w,
-                        },
-                    });
-                });
-            }
-        };
-
-        let mut last_time = start_time;
         for r in &self.requests {
-            // Planner wake-ups (batch epochs) due before this request.
-            while let Some(tw) = planner.next_wakeup() {
-                if tw > r.release {
-                    break;
-                }
-                let tw = tw.max(last_time);
-                advance_all(&mut state, &mut motions, tw, &mut events, &*self.oracle);
-                let t0 = Instant::now();
-                let outs = planner.on_time(&mut state, tw);
-                planning_time += t0.elapsed();
-                record(outs, tw, &mut events, &mut served, &mut rejected);
-                last_time = tw;
-            }
-
-            advance_all(
-                &mut state,
-                &mut motions,
-                r.release,
-                &mut events,
-                &*self.oracle,
-            );
-            last_time = r.release;
-            let t0 = Instant::now();
-            let outs = planner.on_request(&mut state, r);
-            planning_time += t0.elapsed();
-            record(outs, r.release, &mut events, &mut served, &mut rejected);
+            service.submit(PlatformEvent::RequestArrived(*r));
         }
-
-        // Fire any wake-ups still pending after the last request (an
-        // open batch epoch ends at its boundary, not at stream end).
-        while let Some(tw) = planner.next_wakeup() {
-            let tw = tw.max(last_time);
-            advance_all(&mut state, &mut motions, tw, &mut events, &*self.oracle);
-            let t0 = Instant::now();
-            let outs = planner.on_time(&mut state, tw);
-            planning_time += t0.elapsed();
-            record(outs, tw, &mut events, &mut served, &mut rejected);
-            if planner.next_wakeup() == Some(tw) {
-                break; // planner did not advance its wakeup: stop looping
-            }
-            last_time = tw;
-        }
-
-        // Drain planner buffers (batch tail).
-        let t0 = Instant::now();
-        let outs = planner.flush(&mut state);
-        planning_time += t0.elapsed();
-        record(outs, last_time, &mut events, &mut served, &mut rejected);
-
-        // Let workers finish their routes.
-        if self.config.drain {
-            let horizon = self
-                .workers
-                .iter()
-                .map(|w| {
-                    let route = &state.agent(w.id).route;
-                    if route.is_empty() {
-                        route.start_time()
-                    } else {
-                        route.arr(route.len())
-                    }
-                })
-                .max()
-                .unwrap_or(last_time)
-                .max(last_time);
-            advance_all(
-                &mut state,
-                &mut motions,
-                horizon,
-                &mut events,
-                &*self.oracle,
-            );
-        }
-
-        let driven: Vec<Cost> = motions.iter().map(|m| m.driven).collect();
-        let planned: Vec<Cost> = state.agents().iter().map(|a| a.assigned_distance).collect();
-        let audit_errors = audit_events(
-            &self.requests,
-            &self.workers,
-            &events,
-            if self.config.drain {
-                Some((&driven, &planned))
-            } else {
-                None
-            },
-        );
-
-        let metrics = SimMetrics {
-            requests: self.requests.len(),
-            served,
-            rejected,
-            unified_cost: state.unified_cost(self.config.alpha),
-            planning_time,
-            driven_distance: driven.iter().sum(),
-        };
-        SimOutcome {
-            metrics,
-            state,
-            events,
-            audit_errors,
-        }
+        service.drain()
     }
 }
 
@@ -260,7 +167,8 @@ mod tests {
     use road_network::matrix::MatrixOracle;
     use road_network::VertexId;
     use urpsm_core::planner::{GreedyDp, PruneGreedyDp};
-    use urpsm_core::types::RequestId;
+    use urpsm_core::platform::Outcome;
+    use urpsm_core::types::{RequestId, Time, WorkerId};
 
     fn line_oracle(n: usize) -> Arc<dyn DistanceOracle> {
         let mut b = road_network::builder::NetworkBuilder::new();
@@ -310,7 +218,8 @@ mod tests {
                 req(2, 7, 12, 2_000, 100_000),
             ],
             SimConfig::default(),
-        );
+        )
+        .unwrap();
         let mut planner = PruneGreedyDp::new();
         let out = sim.run(&mut planner);
         assert_eq!(out.audit_errors, Vec::<String>::new());
@@ -331,7 +240,8 @@ mod tests {
             fleet(&[0]),
             vec![req(0, 40, 45, 0, 500)], // unreachable in time
             SimConfig::default(),
-        );
+        )
+        .unwrap();
         let mut planner = PruneGreedyDp::new();
         let out = sim.run(&mut planner);
         assert!(out.audit_errors.is_empty());
@@ -355,6 +265,7 @@ mod tests {
                 requests.clone(),
                 SimConfig::default(),
             )
+            .unwrap()
         };
         let mut g = GreedyDp::new();
         let mut p = PruneGreedyDp::new();
@@ -415,7 +326,8 @@ mod tests {
             req(1, 2, 3, 100, 100_000),
             req(2, 3, 4, 5_000, 100_000), // well past the first epoch
         ];
-        let sim = Simulation::new(line_oracle(10), fleet(&[0]), requests, SimConfig::default());
+        let sim =
+            Simulation::new(line_oracle(10), fleet(&[0]), requests, SimConfig::default()).unwrap();
         let mut planner = WakeupRecorder {
             epoch: 600,
             next: None,
@@ -433,13 +345,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted by release")]
-    fn unsorted_requests_rejected() {
-        let _ = Simulation::new(
+    fn unsorted_requests_reported_not_panicked() {
+        let err = Simulation::new(
             line_oracle(10),
             fleet(&[0]),
             vec![req(0, 1, 2, 100, 200), req(1, 1, 2, 50, 200)],
             SimConfig::default(),
+        )
+        .err()
+        .expect("unsorted stream must be rejected");
+        assert_eq!(err, SimError::UnsortedRequests { index: 1 });
+        assert!(err.to_string().contains("sorted by release time"));
+    }
+
+    #[test]
+    fn unchecked_constructor_skips_the_check() {
+        // Sorted stream: both constructors agree.
+        let sim = Simulation::new_sorted_unchecked(
+            line_oracle(10),
+            fleet(&[0]),
+            vec![req(0, 1, 2, 0, 100_000)],
+            SimConfig::default(),
         );
+        let out = sim.run(&mut PruneGreedyDp::new());
+        assert!(out.audit_errors.is_empty());
     }
 }

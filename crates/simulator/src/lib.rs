@@ -15,6 +15,11 @@
 //! * [`audit`] — a post-hoc replay verifying that every constraint of
 //!   Def. 4 (precedence, deadline, capacity) and the URPSM invariable
 //!   constraint actually held, plus exact distance accounting.
+//! * [`service`] — [`service::MobilityService`], the streaming facade:
+//!   feed it [`urpsm_core::event::PlatformEvent`]s one at a time (from
+//!   a simulator, a trace file, or a live socket) and it drives the
+//!   platform, the planner, and worker motion. [`engine::Simulation`]
+//!   is now a thin batch driver over it.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -22,13 +27,15 @@ pub mod audit;
 pub mod engine;
 pub mod metrics;
 pub mod motion;
+pub mod service;
 pub mod timeline;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::audit::audit_events;
-    pub use crate::engine::{SimConfig, SimOutcome, Simulation};
+    pub use crate::engine::{SimConfig, SimError, SimOutcome, Simulation};
     pub use crate::metrics::SimMetrics;
+    pub use crate::service::{MobilityService, ServiceReply};
     pub use crate::timeline::{Timeline, TimelineBucket};
     pub use crate::SimEvent;
 }
@@ -70,6 +77,40 @@ pub enum SimEvent {
         t: urpsm_core::types::Time,
         /// The request.
         r: urpsm_core::types::RequestId,
+        /// The worker.
+        w: urpsm_core::types::WorkerId,
+    },
+    /// Request `r` was withdrawn by its rider/shipper before pickup;
+    /// its pending stops (if any) were released.
+    Cancelled {
+        /// When the cancellation took effect.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+    },
+    /// Request `r` was stripped from departing worker `w`'s route (the
+    /// `Reassign` policy); a fresh assignment/rejection decision for
+    /// `r` follows later in the log.
+    Unassigned {
+        /// When the strip happened.
+        t: urpsm_core::types::Time,
+        /// The request.
+        r: urpsm_core::types::RequestId,
+        /// The departing worker it was stripped from.
+        w: urpsm_core::types::WorkerId,
+    },
+    /// Worker `w` joined the fleet.
+    WorkerJoined {
+        /// When it came online.
+        t: urpsm_core::types::Time,
+        /// The worker.
+        w: urpsm_core::types::WorkerId,
+    },
+    /// Worker `w` left the fleet: it takes no new requests and only
+    /// finishes the stops still committed to it.
+    WorkerLeft {
+        /// When the departure was announced.
+        t: urpsm_core::types::Time,
         /// The worker.
         w: urpsm_core::types::WorkerId,
     },

@@ -10,10 +10,13 @@ use urpsm_core::objective::UnifiedCost;
 pub struct SimMetrics {
     /// Total number of requests replayed.
     pub requests: usize,
-    /// Requests inserted into some route.
+    /// Requests inserted into some route (and not later cancelled).
     pub served: usize,
     /// Requests rejected.
     pub rejected: usize,
+    /// Requests withdrawn by their rider/shipper before pickup (zero
+    /// on the legacy batch path, which replays arrival-only streams).
+    pub cancelled: usize,
     /// The unified cost (Eq. 1) at the configured `α`.
     pub unified_cost: UnifiedCost,
     /// Total wall-clock time spent inside the planner.
@@ -52,7 +55,11 @@ impl std::fmt::Display for SimMetrics {
             self.served_rate() * 100.0,
             self.unified_cost.value(),
             self.response_time(),
-        )
+        )?;
+        if self.cancelled > 0 {
+            write!(f, " cancelled={}", self.cancelled)?;
+        }
+        Ok(())
     }
 }
 
@@ -66,6 +73,7 @@ mod tests {
             requests: 4,
             served: 3,
             rejected: 1,
+            cancelled: 0,
             unified_cost: UnifiedCost {
                 alpha: 1,
                 total_distance: 100,
@@ -86,6 +94,7 @@ mod tests {
             requests: 0,
             served: 0,
             rejected: 0,
+            cancelled: 0,
             unified_cost: UnifiedCost::default(),
             planning_time: Duration::ZERO,
             driven_distance: 0,

@@ -23,6 +23,10 @@ pub struct TimelineBucket {
     pub pickups: usize,
     /// Deliveries completed in this bucket.
     pub deliveries: usize,
+    /// Requests cancelled in this bucket.
+    pub cancellations: usize,
+    /// Fleet-membership changes (joins + departures) in this bucket.
+    pub fleet_changes: usize,
 }
 
 /// A bucketed view over a whole run.
@@ -48,7 +52,11 @@ impl Timeline {
                 SimEvent::Assigned { t, .. }
                 | SimEvent::Rejected { t, .. }
                 | SimEvent::Pickup { t, .. }
-                | SimEvent::Delivery { t, .. } => t,
+                | SimEvent::Delivery { t, .. }
+                | SimEvent::Cancelled { t, .. }
+                | SimEvent::Unassigned { t, .. }
+                | SimEvent::WorkerJoined { t, .. }
+                | SimEvent::WorkerLeft { t, .. } => t,
             })
             .chain(requests.iter().map(|r| r.release))
             .max()
@@ -70,6 +78,13 @@ impl Timeline {
                 SimEvent::Rejected { t, .. } => buckets[idx(t)].rejected += 1,
                 SimEvent::Pickup { t, .. } => buckets[idx(t)].pickups += 1,
                 SimEvent::Delivery { t, .. } => buckets[idx(t)].deliveries += 1,
+                SimEvent::Cancelled { t, .. } => buckets[idx(t)].cancellations += 1,
+                // An unassign is neither a decision nor a cancellation;
+                // the re-decision that follows is counted on its own.
+                SimEvent::Unassigned { .. } => {}
+                SimEvent::WorkerJoined { t, .. } | SimEvent::WorkerLeft { t, .. } => {
+                    buckets[idx(t)].fleet_changes += 1
+                }
             }
         }
         Timeline { bucket_cs, buckets }

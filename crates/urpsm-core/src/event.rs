@@ -1,0 +1,186 @@
+//! The typed event stream of the platform/simulator boundary.
+//!
+//! The paper's setting is fundamentally *online* (§2): requests arrive
+//! dynamically and must be served immediately and irrevocably. The
+//! original simulator surface was nonetheless batch-shaped — it
+//! demanded the complete, pre-sorted request list up front. This module
+//! defines the streaming alternative: a [`PlatformEvent`] is one thing
+//! the platform learns about the world, and any driver (a simulator
+//! replaying a trace, a socket serving live traffic, a test feeding a
+//! hand-written interleaving) produces the same event type.
+//!
+//! Consumers are `MobilityService` in the simulator crate (which owns a
+//! [`crate::platform::PlatformState`] plus a boxed
+//! [`crate::planner::Planner`]) and the planner hooks
+//! [`crate::planner::Planner::on_cancel`] /
+//! [`crate::planner::Planner::on_worker_change`].
+
+use crate::types::{Request, RequestId, Time, Worker, WorkerId};
+
+/// What happens to a departing worker's not-yet-picked-up requests.
+///
+/// Both policies preserve the URPSM invariability constraint for
+/// *onboard* riders: passengers already picked up are always delivered
+/// by the departing worker before it leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReassignPolicy {
+    /// The worker finishes every stop already on its route (it just
+    /// stops accepting new requests), then leaves.
+    #[default]
+    Drain,
+    /// Un-picked requests are stripped from the route and handed back
+    /// through the planner, which may re-insert them elsewhere or
+    /// reject them (accruing their penalties). Onboard riders are still
+    /// delivered by the departing worker.
+    Reassign,
+}
+
+/// One event on the platform's input stream.
+///
+/// Every variant carries its occurrence time; a stream fed to a service
+/// must be (weakly) time-ordered — drivers that merge several sources
+/// (requests, cancellations, fleet churn) sort by [`PlatformEvent::time`]
+/// first, with [`PlatformEvent::tie_rank`] as the deterministic
+/// tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformEvent {
+    /// A new request was released (`t_r` is `Request::release`).
+    RequestArrived(Request),
+    /// The rider/shipper cancelled an earlier request. Cancelling frees
+    /// the request's un-picked stops; a rider already onboard is
+    /// delivered anyway (invariability).
+    RequestCancelled {
+        /// When the cancellation reached the platform.
+        at: Time,
+        /// The request being withdrawn.
+        request: RequestId,
+    },
+    /// A new worker came online. Worker ids must stay densely indexed:
+    /// the joining worker's id must equal the current fleet size.
+    WorkerJoined {
+        /// When the worker became available.
+        at: Time,
+        /// The worker (initial location = where it comes online).
+        worker: Worker,
+    },
+    /// A worker announced its departure.
+    WorkerLeft {
+        /// When the departure was announced.
+        at: Time,
+        /// The departing worker.
+        worker: WorkerId,
+        /// What happens to its not-yet-picked-up requests.
+        reassign: ReassignPolicy,
+    },
+    /// A pure clock advance: move every worker forward and fire any
+    /// planner wake-ups (batch epochs) that became due.
+    Tick {
+        /// The new platform time.
+        at: Time,
+    },
+}
+
+impl PlatformEvent {
+    /// The event's occurrence time.
+    #[inline]
+    pub fn time(&self) -> Time {
+        match *self {
+            PlatformEvent::RequestArrived(r) => r.release,
+            PlatformEvent::RequestCancelled { at, .. }
+            | PlatformEvent::WorkerJoined { at, .. }
+            | PlatformEvent::WorkerLeft { at, .. }
+            | PlatformEvent::Tick { at } => at,
+        }
+    }
+
+    /// Deterministic ordering rank for events at the same timestamp:
+    /// capacity arrives before demand (joins first), departures and
+    /// ticks last — so a worker joining at `t` can serve a request
+    /// released at `t`, and a cancellation at `t` still sees the
+    /// request it refers to.
+    #[inline]
+    pub fn tie_rank(&self) -> u8 {
+        match self {
+            PlatformEvent::WorkerJoined { .. } => 0,
+            PlatformEvent::RequestArrived(_) => 1,
+            PlatformEvent::RequestCancelled { .. } => 2,
+            PlatformEvent::WorkerLeft { .. } => 3,
+            PlatformEvent::Tick { .. } => 4,
+        }
+    }
+}
+
+/// A fleet-membership change, passed to
+/// [`crate::planner::Planner::on_worker_change`] so planners with
+/// per-worker state (caches, epoch buffers) can react.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerChange {
+    /// The worker just joined the fleet.
+    Joined(WorkerId),
+    /// The worker was retired from the fleet.
+    Left {
+        /// The departed worker.
+        worker: WorkerId,
+        /// The policy its pending requests were handled with.
+        policy: ReassignPolicy,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::VertexId;
+
+    fn req(id: u32, release: Time) -> Request {
+        Request {
+            id: RequestId(id),
+            origin: VertexId(0),
+            destination: VertexId(1),
+            release,
+            deadline: release + 100,
+            penalty: 1,
+            capacity: 1,
+        }
+    }
+
+    #[test]
+    fn times_and_tie_ranks() {
+        let events = [
+            PlatformEvent::WorkerJoined {
+                at: 5,
+                worker: Worker {
+                    id: WorkerId(0),
+                    origin: VertexId(0),
+                    capacity: 4,
+                },
+            },
+            PlatformEvent::RequestArrived(req(1, 5)),
+            PlatformEvent::RequestCancelled {
+                at: 5,
+                request: RequestId(1),
+            },
+            PlatformEvent::WorkerLeft {
+                at: 5,
+                worker: WorkerId(0),
+                reassign: ReassignPolicy::Drain,
+            },
+            PlatformEvent::Tick { at: 5 },
+        ];
+        assert!(events.iter().all(|e| e.time() == 5));
+        // Already in canonical same-time order.
+        assert!(events.windows(2).all(|w| w[0].tie_rank() < w[1].tie_rank()));
+    }
+
+    #[test]
+    fn merged_stream_sorts_stably() {
+        let mut stream = [
+            PlatformEvent::Tick { at: 10 },
+            PlatformEvent::RequestArrived(req(2, 10)),
+            PlatformEvent::RequestArrived(req(1, 3)),
+        ];
+        stream.sort_by_key(|e| (e.time(), e.tie_rank()));
+        assert!(matches!(stream[0], PlatformEvent::RequestArrived(r) if r.id == RequestId(1)));
+        assert!(matches!(stream[1], PlatformEvent::RequestArrived(r) if r.id == RequestId(2)));
+        assert!(matches!(stream[2], PlatformEvent::Tick { at: 10 }));
+    }
+}

@@ -16,15 +16,21 @@
 //! * [`decision`] — the decision phase (Algo. 4): reject a request when
 //!   its penalty is cheaper than the best-case service cost.
 //! * [`platform`] — the shared mutable world (workers, routes, grid
-//!   index) that planners operate on, plus commit/reject bookkeeping.
+//!   index) that planners operate on, plus commit/reject bookkeeping
+//!   and the cancellation / fleet-churn mutations.
 //! * [`planner`] — the [`planner::Planner`] trait and the paper's two
 //!   solutions `GreedyDP` and `pruneGreedyDP` (Algo. 5).
+//! * [`event`] — the typed [`event::PlatformEvent`] stream that the
+//!   service layer (`MobilityService` in the simulator crate) consumes,
+//!   making the online setting of §2 a first-class API: arrivals,
+//!   cancellations, fleet churn and clock ticks.
 //! * [`objective`] — the unified cost (Eq. 1) and the three objective
 //!   reductions of §3.2, including the revenue identity Eq. (2)–(4).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decision;
+pub mod event;
 pub mod insertion;
 pub mod lower_bound;
 pub mod objective;
@@ -36,6 +42,7 @@ pub mod types;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::decision::{decision_phase, DecisionOutcome};
+    pub use crate::event::{PlatformEvent, ReassignPolicy, WorkerChange};
     pub use crate::insertion::{
         basic_insertion, linear_dp_insertion, linear_dp_insertion_with, naive_dp_insertion,
         InsertionScratch,
@@ -43,7 +50,7 @@ pub mod prelude {
     pub use crate::lower_bound::insertion_lower_bound;
     pub use crate::objective::{ObjectivePreset, UnifiedCost};
     pub use crate::planner::{GreedyDp, Planner, PlannerConfig, PruneGreedyDp};
-    pub use crate::platform::{Outcome, PlatformState, WorkerAgent};
+    pub use crate::platform::{CancelOutcome, Outcome, PlatformState, WorkerAgent};
     pub use crate::route::{InsertionPlan, PlanShape, Route};
     pub use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
 }

@@ -127,6 +127,10 @@ impl Planner for PruneGreedyDp {
     fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
         vec![(r.id, self.engine.handle(true, state, r))]
     }
+
+    // Default `on_cancel`/`on_worker_change` hooks are correct here:
+    // decisions are immediate (nothing buffered to withdraw) and every
+    // decision re-reads the fleet through the grid index.
 }
 
 /// The ablation baseline: `GreedyDP` — identical to [`PruneGreedyDp`]
@@ -162,6 +166,9 @@ impl Planner for GreedyDp {
     fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
         vec![(r.id, self.engine.handle(false, state, r))]
     }
+
+    // Default lifecycle hooks: immediate decisions, fleet re-read from
+    // the grid index on every request (same rationale as PruneGreedyDp).
 }
 
 #[cfg(test)]

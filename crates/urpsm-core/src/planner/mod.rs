@@ -20,6 +20,7 @@ mod greedy;
 
 pub use greedy::{GreedyDp, PruneGreedyDp};
 
+use crate::event::WorkerChange;
 use crate::platform::{Outcome, PlatformState};
 use crate::types::{Request, RequestId, Time};
 
@@ -29,10 +30,11 @@ pub struct PlannerConfig {
     /// The unified-objective weight `α` (Eq. 1). The experiments of
     /// §6.1 fix `α = 1`.
     pub alpha: u64,
-    /// Extension (not in the paper, see DESIGN.md): when `true`, a
-    /// request is also rejected at *planning* time if the exact cost
-    /// `α · Δ*` exceeds its penalty — the paper only applies the
-    /// economic test to the lower bound in the decision phase.
+    /// Extension (not in the paper, see `DESIGN.md` §2 at the repo
+    /// root): when `true`, a request is also rejected at *planning*
+    /// time if the exact cost `α · Δ*` exceeds its penalty — the paper
+    /// only applies the economic test to the lower bound in the
+    /// decision phase.
     pub strict_economics: bool,
 }
 
@@ -72,6 +74,25 @@ pub trait Planner {
     fn next_wakeup(&self) -> Option<Time> {
         None
     }
+
+    /// A rider/shipper cancelled request `r` (see `DESIGN.md` §2).
+    /// Planners that buffer undecided requests (batch epochs) must drop
+    /// `r` from their buffer and return `true` to signal they absorbed
+    /// the cancellation; the service then skips the platform-level
+    /// route surgery. Planners that decide immediately keep the default
+    /// (`false`) — the platform handles the cancellation through
+    /// [`PlatformState::cancel_request`].
+    fn on_cancel(&mut self, _state: &mut PlatformState, _r: RequestId) -> bool {
+        false
+    }
+
+    /// The fleet changed: a worker joined, or one left (see
+    /// `DESIGN.md` §2). Called *after* the platform applied the change,
+    /// so `state` already reflects the new fleet. Planners with
+    /// per-worker caches or pending per-worker work react here.
+    /// Default: no-op — correct for the paper's planners, which look
+    /// workers up through the grid index on every decision.
+    fn on_worker_change(&mut self, _state: &mut PlatformState, _change: WorkerChange) {}
 }
 
 impl<P: Planner + ?Sized> Planner for Box<P> {
@@ -89,5 +110,39 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     }
     fn next_wakeup(&self) -> Option<Time> {
         (**self).next_wakeup()
+    }
+    fn on_cancel(&mut self, state: &mut PlatformState, r: RequestId) -> bool {
+        (**self).on_cancel(state, r)
+    }
+    fn on_worker_change(&mut self, state: &mut PlatformState, change: WorkerChange) {
+        (**self).on_worker_change(state, change)
+    }
+}
+
+/// Borrowing adapter: the simulator driver and the benches can feed a
+/// `&mut P` where a [`Planner`] value is expected instead of giving the
+/// planner away (e.g. `MobilityService` boxes `&mut planner` while the
+/// caller keeps ownership to read statistics afterwards).
+impl<P: Planner + ?Sized> Planner for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+        (**self).on_request(state, r)
+    }
+    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+        (**self).on_time(state, now)
+    }
+    fn flush(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+        (**self).flush(state)
+    }
+    fn next_wakeup(&self) -> Option<Time> {
+        (**self).next_wakeup()
+    }
+    fn on_cancel(&mut self, state: &mut PlatformState, r: RequestId) -> bool {
+        (**self).on_cancel(state, r)
+    }
+    fn on_worker_change(&mut self, state: &mut PlatformState, change: WorkerChange) {
+        (**self).on_worker_change(state, change)
     }
 }

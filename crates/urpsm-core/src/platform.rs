@@ -10,18 +10,23 @@
 //! * **feasibility** — [`PlatformState::commit`] only splices plans that
 //!   came out of an insertion operator, and debug builds re-validate the
 //!   route after every commit;
-//! * **invariability** — there is no API to un-reject a request or to
-//!   drop a committed stop other than by completing it.
+//! * **invariability** — there is no API to un-reject a request, and a
+//!   committed stop disappears only by being completed, by an explicit
+//!   rider cancellation ([`PlatformState::cancel_request`]), or by a
+//!   worker-departure reassignment ([`PlatformState::strip_unpicked`])
+//!   — and the latter two refuse to touch a rider who is already
+//!   onboard: once picked up, delivery is irrevocable.
 
 use std::sync::Arc;
 
+use road_network::fxhash::{FxHashMap, FxHashSet};
 use road_network::grid::{GridIndex, SortedCellGrid};
 use road_network::oracle::DistanceOracle;
 use road_network::{Cost, VertexId};
 
 use crate::objective::UnifiedCost;
 use crate::route::{InsertionPlan, Route};
-use crate::types::{Request, RequestId, Stop, Time, Worker, WorkerId};
+use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
 
 /// A worker together with its live route and accounting.
 #[derive(Debug, Clone)]
@@ -30,12 +35,47 @@ pub struct WorkerAgent {
     pub worker: Worker,
     /// The current route (already-passed stops are popped).
     pub route: Route,
-    /// Σ of committed insertion deltas — equals the final `D(S_w)` once
-    /// the route is fully driven, since every insertion grows the
-    /// planned distance by exactly its `Δ`.
+    /// Σ of committed insertion deltas minus distance freed by
+    /// cancellations — equals the final `D(S_w)` once the route is
+    /// fully driven, since every insertion grows the planned distance
+    /// by exactly its `Δ` and every removal shrinks it by the freed
+    /// amount.
     pub assigned_distance: Cost,
-    /// Requests assigned to this worker, in commit order.
+    /// Requests assigned to this worker, in commit order (history —
+    /// entries stay even if later cancelled or reassigned away).
     pub assigned_requests: Vec<RequestId>,
+    /// Whether the worker still accepts new requests. Retired workers
+    /// leave the grid indexes (never shortlisted again) but keep
+    /// driving their committed stops.
+    pub active: bool,
+}
+
+/// What happened to a cancellation, as reported by
+/// [`PlatformState::cancel_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The request's pending stops were removed from `worker`'s route;
+    /// `freed` planned distance was returned to the pool.
+    Cancelled {
+        /// The worker that was going to serve the request.
+        worker: WorkerId,
+        /// Planned distance freed by the removal.
+        freed: Cost,
+    },
+    /// Too late: the rider/parcel is already onboard `worker` and will
+    /// be delivered (the invariability constraint — a picked-up request
+    /// cannot be dropped).
+    Onboard {
+        /// The worker carrying the request.
+        worker: WorkerId,
+    },
+    /// The request was already fully served.
+    Completed,
+    /// The request had been rejected earlier; its penalty stands.
+    WasRejected,
+    /// The platform has no record of this request (never arrived, or
+    /// still buffered inside a batch planner).
+    Unknown,
 }
 
 /// Per-request outcome reported by planners.
@@ -63,6 +103,13 @@ pub struct PlatformState {
     sorted_grid: Option<SortedCellGrid>,
     rejected: Vec<(RequestId, Cost)>,
     served: usize,
+    /// Live request → worker map (entries removed on delivery,
+    /// cancellation, or reassignment strip).
+    assignment: FxHashMap<RequestId, WorkerId>,
+    /// Requests fully delivered.
+    completed: FxHashSet<RequestId>,
+    /// Requests successfully cancelled after assignment.
+    cancelled: Vec<RequestId>,
     /// Scratch buffer for grid queries (avoids per-request allocation).
     grid_scratch: Vec<u64>,
 }
@@ -92,6 +139,7 @@ impl PlatformState {
                     route: Route::new(w.origin, start_time),
                     assigned_distance: 0,
                     assigned_requests: Vec::new(),
+                    active: true,
                 }
             })
             .collect();
@@ -103,6 +151,9 @@ impl PlatformState {
             sorted_grid: None,
             rejected: Vec::new(),
             served: 0,
+            assignment: FxHashMap::default(),
+            completed: FxHashSet::default(),
+            cancelled: Vec::new(),
             grid_scratch: Vec::new(),
         }
     }
@@ -118,7 +169,7 @@ impl PlatformState {
             (0..self.oracle.num_vertices()).map(|i| self.oracle.point(VertexId(i as u32))),
         );
         let mut sg = SortedCellGrid::new(bbox, cell_m);
-        for a in &self.agents {
+        for a in self.agents.iter().filter(|a| a.active) {
             sg.grid_mut().upsert(
                 u64::from(a.worker.id.0),
                 self.oracle.point(a.route.start_vertex()),
@@ -210,6 +261,7 @@ impl PlatformState {
         );
         agent.assigned_distance += plan.delta;
         agent.assigned_requests.push(r.id);
+        self.assignment.insert(r.id, w);
         self.served += 1;
     }
 
@@ -267,6 +319,7 @@ impl PlatformState {
         }
         agent.assigned_distance += delta;
         agent.assigned_requests.push(r.id);
+        self.assignment.insert(r.id, w);
         self.served += 1;
     }
 
@@ -319,10 +372,12 @@ impl PlatformState {
     ) {
         let agent = &mut self.agents[w.idx()];
         agent.route.set_start(v, time, first_leg);
-        let p = self.oracle.point(v);
-        self.grid.upsert(u64::from(w.0), p);
-        if let Some(sg) = self.sorted_grid.as_mut() {
-            sg.grid_mut().upsert(u64::from(w.0), p);
+        if agent.active {
+            let p = self.oracle.point(v);
+            self.grid.upsert(u64::from(w.0), p);
+            if let Some(sg) = self.sorted_grid.as_mut() {
+                sg.grid_mut().upsert(u64::from(w.0), p);
+            }
         }
     }
 
@@ -337,12 +392,165 @@ impl PlatformState {
     pub fn pop_worker_stop(&mut self, w: WorkerId) -> (Stop, Time) {
         let agent = &mut self.agents[w.idx()];
         let (stop, at) = agent.route.pop_front_stop();
-        let p = self.oracle.point(stop.vertex);
-        self.grid.upsert(u64::from(w.0), p);
-        if let Some(sg) = self.sorted_grid.as_mut() {
-            sg.grid_mut().upsert(u64::from(w.0), p);
+        if stop.kind == StopKind::Delivery && self.assignment.remove(&stop.request).is_some() {
+            self.completed.insert(stop.request);
+        }
+        if self.agents[w.idx()].active {
+            let p = self.oracle.point(stop.vertex);
+            self.grid.upsert(u64::from(w.0), p);
+            if let Some(sg) = self.sorted_grid.as_mut() {
+                sg.grid_mut().upsert(u64::from(w.0), p);
+            }
         }
         (stop, at)
+    }
+
+    // ── Lifecycle API (cancellations and fleet churn) ────────────────
+
+    /// Attempts to cancel a previously submitted request.
+    ///
+    /// * Pickup still pending → both its stops are removed from the
+    ///   assigned worker's route (the bridge legs are re-queried from
+    ///   the oracle), the freed planned distance is deducted from the
+    ///   worker's accounting, and the served count rolls back.
+    /// * Already picked up → [`CancelOutcome::Onboard`]: the delivery
+    ///   stays committed (invariability).
+    /// * Delivered / rejected / unseen → reported as such, no mutation.
+    pub fn cancel_request(&mut self, rid: RequestId) -> CancelOutcome {
+        let Some(&w) = self.assignment.get(&rid) else {
+            if self.completed.contains(&rid) {
+                return CancelOutcome::Completed;
+            }
+            if self.rejected.iter().any(|(r, _)| *r == rid) {
+                return CancelOutcome::WasRejected;
+            }
+            return CancelOutcome::Unknown;
+        };
+        let oracle = Arc::clone(&self.oracle);
+        let agent = &mut self.agents[w.idx()];
+        match agent.route.remove_request(rid, |a, b| oracle.dis(a, b)) {
+            Some(freed) => {
+                agent.assigned_distance = agent.assigned_distance.saturating_sub(freed);
+                debug_assert_eq!(agent.route.validate(agent.worker.capacity), Ok(()));
+                self.assignment.remove(&rid);
+                self.cancelled.push(rid);
+                self.served -= 1;
+                CancelOutcome::Cancelled { worker: w, freed }
+            }
+            // Still assigned but no pending pickup: the request is in
+            // the vehicle (delivery pending) — completion is handled by
+            // `pop_worker_stop`, which clears the assignment entry.
+            None => CancelOutcome::Onboard { worker: w },
+        }
+    }
+
+    /// Adds a worker to the fleet at the current time. Ids must stay
+    /// dense: `w.id` must equal the current fleet size.
+    ///
+    /// # Panics
+    /// If `w.id` is not the next dense id.
+    pub fn add_worker(&mut self, w: Worker) {
+        assert_eq!(
+            w.id.idx(),
+            self.agents.len(),
+            "joining workers must take the next dense id"
+        );
+        let p = self.oracle.point(w.origin);
+        self.grid.upsert(u64::from(w.id.0), p);
+        if let Some(sg) = self.sorted_grid.as_mut() {
+            sg.grid_mut().upsert(u64::from(w.id.0), p);
+        }
+        self.agents.push(WorkerAgent {
+            worker: w,
+            route: Route::new(w.origin, self.now),
+            assigned_distance: 0,
+            assigned_requests: Vec::new(),
+            active: true,
+        });
+    }
+
+    /// Retires a worker: it leaves the grid indexes (so it is never
+    /// shortlisted again) but keeps its committed stops — the driver
+    /// keeps moving it until its route drains. Idempotent.
+    pub fn retire_worker(&mut self, w: WorkerId) {
+        let agent = &mut self.agents[w.idx()];
+        if !agent.active {
+            return;
+        }
+        agent.active = false;
+        self.grid.remove(u64::from(w.0));
+        if let Some(sg) = self.sorted_grid.as_mut() {
+            sg.grid_mut().remove(u64::from(w.0));
+        }
+    }
+
+    /// Strips every not-yet-picked-up request from `w`'s route (the
+    /// `Reassign` departure policy), rolling back their accounting as
+    /// in [`PlatformState::cancel_request`] — but *without* marking
+    /// them cancelled: the caller re-offers them through the planner.
+    /// Onboard riders stay (they must still be delivered).
+    ///
+    /// Returns the stripped request ids in route order.
+    pub fn strip_unpicked(&mut self, w: WorkerId) -> Vec<RequestId> {
+        let mut stripped: Vec<RequestId> = Vec::new();
+        for s in self.agents[w.idx()].route.stops() {
+            if s.kind == StopKind::Pickup && !stripped.contains(&s.request) {
+                stripped.push(s.request);
+            }
+        }
+        let oracle = Arc::clone(&self.oracle);
+        for &rid in &stripped {
+            let agent = &mut self.agents[w.idx()];
+            let freed = agent
+                .route
+                .remove_request(rid, |a, b| oracle.dis(a, b))
+                .expect("pickup pending by construction");
+            agent.assigned_distance = agent.assigned_distance.saturating_sub(freed);
+            self.assignment.remove(&rid);
+            self.served -= 1;
+        }
+        debug_assert_eq!(
+            self.agents[w.idx()]
+                .route
+                .validate(self.agents[w.idx()].worker.capacity),
+            Ok(())
+        );
+        stripped
+    }
+
+    /// Records a cancellation that was absorbed *outside* the platform
+    /// — a batch planner dropping a still-buffered request from its
+    /// epoch. No route ever saw the request, so there is nothing to
+    /// undo; this only keeps [`PlatformState::cancelled`] the complete
+    /// list of withdrawn requests.
+    pub fn note_cancelled(&mut self, rid: RequestId) {
+        debug_assert!(
+            !self.assignment.contains_key(&rid),
+            "assigned requests must go through cancel_request"
+        );
+        self.cancelled.push(rid);
+    }
+
+    /// Number of successfully cancelled requests so far.
+    #[inline]
+    pub fn cancelled_count(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Ids of successfully cancelled requests, in cancellation order.
+    pub fn cancelled(&self) -> &[RequestId] {
+        &self.cancelled
+    }
+
+    /// Number of requests fully delivered so far.
+    #[inline]
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The worker currently assigned to serve `rid`, if any.
+    pub fn assigned_worker(&self, rid: RequestId) -> Option<WorkerId> {
+        self.assignment.get(&rid).copied()
     }
 }
 
@@ -455,6 +663,131 @@ mod tests {
         assert_eq!(at, 500);
         assert_eq!(state.agent(WorkerId(0)).route.onboard(), 1);
         assert_eq!(state.agent(WorkerId(0)).route.start_vertex(), VertexId(5));
+    }
+
+    #[test]
+    fn cancel_rolls_back_route_and_accounting() {
+        let oracle = line_oracle(30);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r1 = request(1, 5, 10, 100_000);
+        let r2 = request(2, 12, 20, 100_000);
+        for r in [&r1, &r2] {
+            let plan =
+                linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, r, state.oracle()).unwrap();
+            state.commit(WorkerId(0), r, &plan);
+        }
+        assert_eq!(state.served_count(), 2);
+        assert_eq!(state.assigned_worker(RequestId(2)), Some(WorkerId(0)));
+        let before = state.total_assigned_distance();
+
+        let out = state.cancel_request(RequestId(2));
+        let CancelOutcome::Cancelled { worker, freed } = out else {
+            panic!("expected cancellation, got {out:?}");
+        };
+        assert_eq!(worker, WorkerId(0));
+        assert_eq!(state.served_count(), 1);
+        assert_eq!(state.cancelled_count(), 1);
+        assert_eq!(state.cancelled(), &[RequestId(2)]);
+        assert_eq!(state.total_assigned_distance(), before - freed);
+        assert_eq!(state.agent(WorkerId(0)).route.len(), 2);
+        assert_eq!(state.assigned_worker(RequestId(2)), None);
+        // Second cancel: nothing left to cancel.
+        assert_eq!(state.cancel_request(RequestId(2)), CancelOutcome::Unknown);
+    }
+
+    #[test]
+    fn cancel_respects_onboard_completed_and_rejected() {
+        let oracle = line_oracle(30);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r = request(1, 5, 10, 100_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r, &plan);
+
+        // Picked up: too late, the delivery is irrevocable.
+        state.pop_worker_stop(WorkerId(0));
+        assert_eq!(
+            state.cancel_request(RequestId(1)),
+            CancelOutcome::Onboard {
+                worker: WorkerId(0)
+            }
+        );
+        // Delivered: completed.
+        state.pop_worker_stop(WorkerId(0));
+        assert_eq!(state.cancel_request(RequestId(1)), CancelOutcome::Completed);
+        assert_eq!(state.completed_count(), 1);
+
+        state.reject(&request(2, 1, 2, 10));
+        assert_eq!(
+            state.cancel_request(RequestId(2)),
+            CancelOutcome::WasRejected
+        );
+        assert_eq!(state.cancel_request(RequestId(9)), CancelOutcome::Unknown);
+    }
+
+    #[test]
+    fn retire_removes_from_candidates_and_strip_reassigns() {
+        let oracle = line_oracle(100);
+        let ws = workers(2, 0, 4); // workers at 0 and 1
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r1 = request(1, 5, 10, 1_000_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r1, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r1, &plan);
+
+        let mut out = Vec::new();
+        let probe = request(9, 2, 4, 1_000_000);
+        state.candidate_workers(&probe, 200, &mut out);
+        assert_eq!(out, vec![WorkerId(0), WorkerId(1)]);
+
+        state.retire_worker(WorkerId(0));
+        state.retire_worker(WorkerId(0)); // idempotent
+        state.candidate_workers(&probe, 200, &mut out);
+        assert_eq!(out, vec![WorkerId(1)]);
+        assert!(!state.agent(WorkerId(0)).active);
+
+        // Stripping hands the un-picked request back.
+        let stripped = state.strip_unpicked(WorkerId(0));
+        assert_eq!(stripped, vec![RequestId(1)]);
+        assert!(state.agent(WorkerId(0)).route.is_empty());
+        assert_eq!(state.served_count(), 0);
+        assert_eq!(state.total_assigned_distance(), 0);
+        // Not marked cancelled — the caller re-offers it.
+        assert_eq!(state.cancelled_count(), 0);
+    }
+
+    #[test]
+    fn add_worker_joins_grid_and_fleet() {
+        let oracle = line_oracle(100);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        state.advance_clock(500);
+        state.add_worker(Worker {
+            id: WorkerId(1),
+            origin: VertexId(50),
+            capacity: 2,
+        });
+        assert_eq!(state.num_workers(), 2);
+        assert_eq!(state.agent(WorkerId(1)).route.start_time(), 500);
+        let mut out = Vec::new();
+        let probe = request(9, 50, 52, 1_000_000);
+        state.candidate_workers(&probe, 200, &mut out);
+        assert!(out.contains(&WorkerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "next dense id")]
+    fn add_worker_enforces_dense_ids() {
+        let oracle = line_oracle(10);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        state.add_worker(Worker {
+            id: WorkerId(7),
+            origin: VertexId(0),
+            capacity: 2,
+        });
     }
 
     #[test]

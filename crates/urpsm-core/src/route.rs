@@ -336,6 +336,57 @@ impl Route {
         debug_assert_eq!(self.leg.len(), self.stops.len() + 1);
     }
 
+    /// Removes the pending stops of a cancelled request, bridging each
+    /// gap with the direct leg `dis(l_{k-1}, l_{k+1})` supplied by
+    /// `dis`. Returns the planned distance freed by the removal.
+    ///
+    /// Only a request whose **pickup is still pending** can be removed:
+    /// if the route holds no pickup stop for `rid` (the rider is
+    /// onboard or already delivered), the route is left untouched and
+    /// `None` is returned — that is the invariability constraint, there
+    /// is no API to drop a rider who has been picked up.
+    ///
+    /// Removal can only shrink arrival times (triangle inequality), so
+    /// the remaining schedule stays feasible by construction.
+    pub fn remove_request(
+        &mut self,
+        rid: RequestId,
+        mut dis: impl FnMut(VertexId, VertexId) -> Cost,
+    ) -> Option<Cost> {
+        let has_pending_pickup = self
+            .stops
+            .iter()
+            .any(|s| s.request == rid && s.kind == StopKind::Pickup);
+        if !has_pending_pickup {
+            return None;
+        }
+        let before = self.remaining_distance();
+        // Positions (1-based, the paper's `l_k` indexing) of the stops
+        // to remove; reverse order keeps earlier indices valid.
+        let positions: Vec<usize> = self
+            .stops
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.request == rid)
+            .map(|(i, _)| i + 1)
+            .collect();
+        for &k in positions.iter().rev() {
+            self.stops.remove(k - 1);
+            self.leg.remove(k);
+            if k <= self.stops.len() {
+                // A stop follows the removed one: bridge the gap.
+                self.leg[k] = dis(self.vertex(k - 1), self.vertex(k));
+            }
+        }
+        self.rebuild();
+        let after = self.remaining_distance();
+        debug_assert!(
+            after <= before,
+            "bridging legs must not grow the route (metric oracle)"
+        );
+        Some(before.saturating_sub(after))
+    }
+
     /// Replaces all pending stops with a re-ordered sequence (used by
     /// the kinetic-tree baseline, which — unlike insertion — may
     /// permute existing stops). `legs[k]` must be
@@ -728,6 +779,127 @@ mod tests {
         route.rebuild();
         assert!(route.validate(4).is_ok());
         assert_eq!(route.picked(1), 0);
+    }
+
+    #[test]
+    fn remove_request_bridges_gaps_and_frees_distance() {
+        // Line metric: dis(u, v) = |u − v| · 10.
+        let dis = |a: VertexId, b: VertexId| u64::from(a.0.abs_diff(b.0)) * 10;
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = req(1, 2, 10, 100_000, 1);
+        let r2 = req(2, 4, 6, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 100,
+                direct: dis(r1.origin, r1.destination),
+                shape: PlanShape::Append {
+                    dis_tail_pickup: dis(VertexId(0), r1.origin),
+                },
+            },
+            &r1,
+        );
+        // Splice r2 between r1's pickup and delivery: 0 → 2 → 4 → 6 → 10.
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 1,
+                delivery_after: 1,
+                delta: 0,
+                direct: dis(r2.origin, r2.destination),
+                shape: PlanShape::Adjacent {
+                    dis_prev_pickup: dis(r1.origin, r2.origin),
+                    dis_delivery_next: dis(r2.destination, r1.destination),
+                },
+            },
+            &r2,
+        );
+        assert_eq!(route.remaining_distance(), 100);
+
+        // Removing r2 bridges 2 → 10 directly; on a line nothing is
+        // freed (no detour), and the arrays stay consistent.
+        let freed = route.remove_request(RequestId(2), dis).expect("pending");
+        assert_eq!(freed, 0);
+        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        assert_eq!(verts, vec![0, 2, 10]);
+        assert_eq!(route.leg(2), 80);
+        assert!(route.validate(1).is_ok());
+
+        // Removing the tail request frees its whole remaining path.
+        let freed = route.remove_request(RequestId(1), dis).expect("pending");
+        assert_eq!(freed, 100);
+        assert!(route.is_empty());
+        assert_eq!(route.remaining_distance(), 0);
+    }
+
+    #[test]
+    fn remove_request_refuses_onboard_and_unknown() {
+        let dis = |a: VertexId, b: VertexId| u64::from(a.0.abs_diff(b.0)) * 10;
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 3, 8, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 80,
+                direct: 50,
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 30,
+                },
+            },
+            &r,
+        );
+        // Unknown request: untouched.
+        assert_eq!(route.remove_request(RequestId(9), dis), None);
+        assert_eq!(route.len(), 2);
+        // Picked up: the delivery is committed forever (invariability).
+        route.pop_front_stop();
+        assert_eq!(route.remove_request(RequestId(1), dis), None);
+        assert_eq!(route.len(), 1);
+    }
+
+    #[test]
+    fn remove_first_stop_rebridges_from_start() {
+        let dis = |a: VertexId, b: VertexId| u64::from(a.0.abs_diff(b.0)) * 10;
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = req(1, 5, 6, 100_000, 1);
+        let r2 = req(2, 1, 9, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 60,
+                direct: 10,
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 50,
+                },
+            },
+            &r1,
+        );
+        // r2 wraps around r1: 0 → 1 → 5 → 6 → 9.
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 2,
+                delta: 0,
+                direct: 80,
+                shape: PlanShape::Split {
+                    dis_prev_pickup: dis(VertexId(0), VertexId(1)),
+                    dis_pickup_next: dis(VertexId(1), VertexId(5)),
+                    dis_prev_delivery: dis(VertexId(6), VertexId(9)),
+                    dis_delivery_next: None,
+                },
+            },
+            &r2,
+        );
+        // Removing r2 strips the first and last stops; the first leg
+        // re-bridges from the start vertex.
+        let freed = route.remove_request(RequestId(2), dis).expect("pending");
+        assert_eq!(freed, 30); // 90 planned, 60 remain (0→5→6)
+        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        assert_eq!(verts, vec![0, 5, 6]);
+        assert_eq!(route.leg(1), 50);
+        assert!(route.validate(1).is_ok());
     }
 
     #[test]

@@ -8,7 +8,8 @@ use road_network::cache::LruCachedOracle;
 use road_network::graph::RoadNetwork;
 use road_network::oracle::{DijkstraOracle, DistanceOracle, HubLabelOracle};
 use road_network::VertexId;
-use urpsm_core::types::{Request, Time, Worker, WorkerId};
+use urpsm_core::event::{PlatformEvent, ReassignPolicy};
+use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
 
 use crate::network_gen::{grid_city, ring_radial_city};
 use crate::requests::{RequestStreamConfig, RequestStreamGenerator};
@@ -45,10 +46,38 @@ pub struct Scenario {
     pub workers: Vec<Worker>,
     /// The request stream, sorted by release time.
     pub requests: Vec<Request>,
+    /// Cancellations `(time, request)`, sorted by time (empty unless
+    /// [`ScenarioBuilder::cancel_rate`] was set).
+    pub cancellations: Vec<(Time, RequestId)>,
+    /// Fleet churn (worker joins/departures), sorted by time (empty
+    /// unless [`ScenarioBuilder::fleet_churn`] was set).
+    pub fleet_events: Vec<PlatformEvent>,
     /// Default platform grid cell (meters).
     pub grid_cell_m: f64,
     /// Objective weight `α`.
     pub alpha: u64,
+}
+
+impl Scenario {
+    /// Merges requests, cancellations and fleet churn into one ordered
+    /// event stream, ready to feed a `MobilityService` one event at a
+    /// time. Ties break on [`PlatformEvent::tie_rank`] (joins before
+    /// arrivals before cancellations before departures).
+    pub fn event_stream(&self) -> Vec<PlatformEvent> {
+        let mut events: Vec<PlatformEvent> = self
+            .requests
+            .iter()
+            .map(|r| PlatformEvent::RequestArrived(*r))
+            .chain(
+                self.cancellations
+                    .iter()
+                    .map(|&(at, request)| PlatformEvent::RequestCancelled { at, request }),
+            )
+            .chain(self.fleet_events.iter().copied())
+            .collect();
+        events.sort_by_key(|e| (e.time(), e.tie_rank()));
+        events
+    }
 }
 
 /// Which shortest-path engine backs the scenario oracle.
@@ -94,6 +123,11 @@ pub struct ScenarioBuilder {
     alpha: u64,
     oracle_kind: OracleKind,
     lru_capacity: usize,
+    cancel_rate: f64,
+    cancel_delay: Time,
+    departures: usize,
+    arrivals: usize,
+    departure_policy: ReassignPolicy,
 }
 
 impl ScenarioBuilder {
@@ -118,6 +152,11 @@ impl ScenarioBuilder {
             alpha: 1,
             oracle_kind: OracleKind::Auto,
             lru_capacity: 1 << 20,
+            cancel_rate: 0.0,
+            cancel_delay: 2 * MINUTE_CS,
+            departures: 0,
+            arrivals: 0,
+            departure_policy: ReassignPolicy::Reassign,
         }
     }
 
@@ -213,6 +252,39 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Fraction of requests that are cancelled some time after release
+    /// (clamped to `[0, 1]`). Cancellation times are drawn uniformly in
+    /// `(release, release + cancel_delay]`; whether a cancellation
+    /// lands before the pickup — and so actually frees the route — is
+    /// decided by the replay, exactly as on a live platform.
+    pub fn cancel_rate(mut self, p: f64) -> Self {
+        self.cancel_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Maximum delay between a request's release and its cancellation
+    /// (only meaningful with a non-zero [`ScenarioBuilder::cancel_rate`]).
+    pub fn cancel_delay(mut self, cs: Time) -> Self {
+        self.cancel_delay = cs.max(1);
+        self
+    }
+
+    /// Fleet churn: `departures` workers (drawn from the initial fleet)
+    /// leave mid-horizon, and `arrivals` fresh workers join during the
+    /// first half of the horizon.
+    pub fn fleet_churn(mut self, departures: usize, arrivals: usize) -> Self {
+        self.departures = departures;
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// What departing workers do with their un-picked requests
+    /// (default: hand them back through the planner).
+    pub fn departure_policy(mut self, p: ReassignPolicy) -> Self {
+        self.departure_policy = p;
+        self
+    }
+
     /// Materializes the scenario (builds network, labels, fleet and
     /// stream — the preprocessing the paper excludes from timings).
     pub fn build(self) -> Scenario {
@@ -249,14 +321,10 @@ impl ScenarioBuilder {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5eed));
         let n_vertices = network.num_vertices() as u32;
         let workers: Vec<Worker> = (0..self.workers as u32)
-            .map(|i| {
-                let sum4: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0;
-                let cap = (f64::from(self.capacity_mu) + (sum4 - 0.5) * 6.93).round();
-                Worker {
-                    id: WorkerId(i),
-                    origin: VertexId(rng.gen_range(0..n_vertices)),
-                    capacity: cap.max(1.0) as u32,
-                }
+            .map(|i| Worker {
+                id: WorkerId(i),
+                origin: VertexId(rng.gen_range(0..n_vertices)),
+                capacity: gauss_capacity(&mut rng, self.capacity_mu),
             })
             .collect();
 
@@ -271,16 +339,72 @@ impl ScenarioBuilder {
         let mut gen = RequestStreamGenerator::new(&network, cfg, self.seed.wrapping_add(0xcafe));
         let requests = gen.generate(&*oracle);
 
+        // Lifecycle extras, seeded independently so enabling them never
+        // perturbs the base fleet/stream draws.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x11fe));
+        let mut cancellations: Vec<(Time, RequestId)> = Vec::new();
+        if self.cancel_rate > 0.0 {
+            for r in &requests {
+                if rng.gen_bool(self.cancel_rate) {
+                    let at = r.release + rng.gen_range(1..=self.cancel_delay);
+                    cancellations.push((at, r.id));
+                }
+            }
+            cancellations.sort_unstable();
+        }
+
+        let mut fleet_events: Vec<PlatformEvent> = Vec::new();
+        if self.arrivals > 0 {
+            // Joining ids must be dense *in join order*: draw the join
+            // times first, sort, then hand out sequential ids.
+            let mut join_times: Vec<Time> = (0..self.arrivals)
+                .map(|_| rng.gen_range(0..=self.horizon / 2))
+                .collect();
+            join_times.sort_unstable();
+            for (i, at) in join_times.into_iter().enumerate() {
+                fleet_events.push(PlatformEvent::WorkerJoined {
+                    at,
+                    worker: Worker {
+                        id: WorkerId((self.workers + i) as u32),
+                        origin: VertexId(rng.gen_range(0..n_vertices)),
+                        capacity: gauss_capacity(&mut rng, self.capacity_mu),
+                    },
+                });
+            }
+        }
+        let mut pool: Vec<u32> = (0..self.workers as u32).collect();
+        for _ in 0..self.departures.min(self.workers) {
+            let w = pool.swap_remove(rng.gen_range(0..pool.len()));
+            fleet_events.push(PlatformEvent::WorkerLeft {
+                at: self.horizon / 4 + rng.gen_range(0..=self.horizon / 2),
+                worker: WorkerId(w),
+                reassign: self.departure_policy,
+            });
+        }
+        fleet_events.sort_by_key(|e| (e.time(), e.tie_rank()));
+
         Scenario {
             name: self.name,
             network,
             oracle,
             workers,
             requests,
+            cancellations,
+            fleet_events,
             grid_cell_m: self.grid_cell_m,
             alpha: self.alpha,
         }
     }
+}
+
+/// Gaussian worker capacity `K_w ~ N(μ, ~2)` via the Irwin–Hall(4)
+/// approximation (§6.1's capacity distribution), clamped to ≥ 1 — one
+/// draw function so the initial fleet and mid-horizon joiners share
+/// the same distribution.
+fn gauss_capacity(rng: &mut StdRng, mu: u32) -> u32 {
+    let sum4: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0;
+    let cap = (f64::from(mu) + (sum4 - 0.5) * 6.93).round();
+    cap.max(1.0) as u32
 }
 
 /// The scaled NYC-like preset: a 48×48 grid city (≈2.3k vertices, the
@@ -359,6 +483,77 @@ mod tests {
             s.workers.iter().map(|w| f64::from(w.capacity)).sum::<f64>() / s.workers.len() as f64;
         assert!((avg - 6.0).abs() < 0.5, "avg capacity {avg}");
         assert!(s.workers.iter().all(|w| w.capacity >= 1));
+    }
+
+    #[test]
+    fn lifecycle_knobs_generate_ordered_extras() {
+        let s = ScenarioBuilder::named("t")
+            .grid_city(8, 8)
+            .workers(6)
+            .requests(200)
+            .seed(11)
+            .cancel_rate(0.2)
+            .cancel_delay(3_000)
+            .fleet_churn(2, 3)
+            .build();
+        assert!(!s.cancellations.is_empty());
+        assert!(
+            s.cancellations.len() < 200,
+            "rate must not cancel everything"
+        );
+        assert!(s.cancellations.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Every cancellation refers to a real request, after release.
+        for &(at, rid) in &s.cancellations {
+            let r = s.requests.iter().find(|r| r.id == rid).expect("real id");
+            assert!(at > r.release);
+        }
+        let joins: Vec<_> = s
+            .fleet_events
+            .iter()
+            .filter_map(|e| match e {
+                PlatformEvent::WorkerJoined { worker, .. } => Some(worker.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(joins, vec![WorkerId(6), WorkerId(7), WorkerId(8)]);
+        let departures = s
+            .fleet_events
+            .iter()
+            .filter(|e| matches!(e, PlatformEvent::WorkerLeft { .. }))
+            .count();
+        assert_eq!(departures, 2);
+
+        // The merged stream is one ordered feed.
+        let stream = s.event_stream();
+        assert_eq!(
+            stream.len(),
+            s.requests.len() + s.cancellations.len() + s.fleet_events.len()
+        );
+        assert!(stream
+            .windows(2)
+            .all(|w| (w[0].time(), w[0].tie_rank()) <= (w[1].time(), w[1].tie_rank())));
+    }
+
+    #[test]
+    fn lifecycle_knobs_do_not_perturb_the_base_scenario() {
+        let plain = ScenarioBuilder::named("t")
+            .grid_city(6, 6)
+            .workers(4)
+            .requests(50)
+            .seed(3)
+            .build();
+        let churny = ScenarioBuilder::named("t")
+            .grid_city(6, 6)
+            .workers(4)
+            .requests(50)
+            .seed(3)
+            .cancel_rate(0.3)
+            .fleet_churn(1, 1)
+            .build();
+        assert_eq!(plain.requests, churny.requests);
+        assert_eq!(plain.workers, churny.workers);
+        assert!(plain.cancellations.is_empty());
+        assert!(plain.fleet_events.is_empty());
     }
 
     #[test]

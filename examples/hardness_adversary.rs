@@ -23,7 +23,8 @@ fn run_draw(inst: &AdversaryInstance) -> (u64, u64) {
             alpha: inst.alpha,
             drain: true,
         },
-    );
+    )
+    .expect("single-request stream is sorted");
     let mut planner = PruneGreedyDp::from_config(PlannerConfig {
         alpha: inst.alpha,
         strict_economics: false,

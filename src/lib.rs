@@ -10,17 +10,54 @@
 //!   (Dijkstra, hub labeling), LRU distance cache, grid indexes.
 //! - [`core`] — the paper's contribution: the URPSM problem model, the
 //!   three insertion operators (basic `O(n³)`, naive DP `O(n²)`,
-//!   linear DP `O(n)`), the Euclidean decision phase and the
-//!   `pruneGreedyDP` planner.
+//!   linear DP `O(n)`), the Euclidean decision phase, the
+//!   `pruneGreedyDP` planner, and the typed [`core::event`] stream.
 //! - [`baselines`] — the three compared systems: `tshare` (ICDE'13),
 //!   `kinetic` (VLDB'14) and `batch` (PNAS'17), behind the same
 //!   [`core::planner::Planner`] trait.
-//! - [`simulator`] — an event-driven shared-mobility simulator with
-//!   worker movement, deadlines and a post-hoc feasibility auditor.
+//! - [`simulator`] — [`simulator::service::MobilityService`], the
+//!   event-driven platform facade, plus worker motion, metrics, and a
+//!   post-hoc feasibility auditor. The batch
+//!   [`simulator::engine::Simulation`] is a thin driver over it.
 //! - [`workloads`] — synthetic city networks and request streams that
-//!   stand in for the NYC / Chengdu taxi datasets.
+//!   stand in for the NYC / Chengdu taxi datasets, with cancellation
+//!   and fleet-churn knobs.
 //!
-//! ## Quickstart
+//! ## The streaming API
+//!
+//! The paper's setting is online: requests arrive dynamically and must
+//! be decided immediately and irrevocably (§2). `MobilityService` is
+//! that setting as an API — feed it one
+//! [`PlatformEvent`](core::event::PlatformEvent) at a time (request
+//! arrivals, cancellations, workers joining or leaving, clock ticks)
+//! and read back the decisions and stops it caused:
+//!
+//! ```
+//! use urpsm::prelude::*;
+//!
+//! let scenario = ScenarioBuilder::named("live")
+//!     .grid_city(6, 6)
+//!     .workers(2)
+//!     .requests(8)
+//!     .cancel_rate(0.2)
+//!     .fleet_churn(1, 1)
+//!     .seed(7)
+//!     .build();
+//! let mut service = urpsm::service(&scenario, Box::new(PruneGreedyDp::new()));
+//! for event in scenario.event_stream() {
+//!     for reply in service.submit(event) {
+//!         // react: push to a socket, log, update a dashboard …
+//!         let _ = reply;
+//!     }
+//! }
+//! let outcome = service.drain();
+//! assert!(outcome.audit_errors.is_empty());
+//! ```
+//!
+//! ## One-shot quickstart
+//!
+//! For pre-recorded, arrival-only streams, [`simulate`] wraps the same
+//! machinery in a single call:
 //!
 //! ```
 //! use urpsm::prelude::*;
@@ -47,11 +84,47 @@ pub use urpsm_workloads as workloads;
 
 use urpsm_core::planner::Planner;
 use urpsm_simulator::engine::{SimConfig, SimOutcome, Simulation};
+use urpsm_simulator::service::MobilityService;
 use urpsm_workloads::scenario::Scenario;
 
-/// Runs `planner` over a [`Scenario`] with the scenario's grid size
-/// and objective weight. Convenience glue between the `workloads` and
-/// `simulator` crates.
+/// Opens a [`MobilityService`] over a [`Scenario`]'s oracle, fleet and
+/// platform parameters, ready to consume the scenario's
+/// [`Scenario::event_stream`] (or any other event feed). The service
+/// clock starts at the first event's time.
+pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> MobilityService<'p> {
+    // Each source is sorted by construction, so the stream's first
+    // timestamp is the min of the three heads — no need to materialize
+    // and sort the merged stream here.
+    let start_time = [
+        scenario.requests.first().map(|r| r.release),
+        scenario.cancellations.first().map(|&(t, _)| t),
+        scenario
+            .fleet_events
+            .first()
+            .map(urpsm_core::event::PlatformEvent::time),
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+    .unwrap_or(0);
+    MobilityService::new(
+        scenario.oracle.clone(),
+        scenario.workers.clone(),
+        planner,
+        SimConfig {
+            grid_cell_m: scenario.grid_cell_m,
+            alpha: scenario.alpha,
+            drain: true,
+        },
+        start_time,
+    )
+}
+
+/// Runs `planner` over a [`Scenario`]'s arrival-only request stream in
+/// one shot — the convenience wrapper over [`MobilityService`] for
+/// pre-recorded workloads. Cancellation / churn extras on the scenario
+/// are ignored here; feed [`Scenario::event_stream`] through
+/// [`service`] to replay those.
 pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
     Simulation::new(
         scenario.oracle.clone(),
@@ -63,12 +136,13 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
             drain: true,
         },
     )
+    .expect("scenario request streams are sorted by construction")
     .run(planner)
 }
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::simulate;
+    pub use crate::{service, simulate};
     pub use road_network::prelude::*;
     pub use urpsm_baselines::prelude::*;
     pub use urpsm_core::prelude::*;

@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "food_delivery",
     "objective_presets",
     "hardness_adversary",
+    "live_service",
 ];
 
 #[test]

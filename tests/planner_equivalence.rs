@@ -38,7 +38,8 @@ fn run_counted(
             alpha: scenario.alpha,
             drain: true,
         },
-    );
+    )
+    .expect("scenario streams are sorted");
     let out = sim.run(planner);
     let queries = counting.stats().dis;
     (out, queries)

@@ -133,7 +133,8 @@ fn more_workers_weakly_helps() {
             workers,
             big.requests.clone(),
             SimConfig::default(),
-        );
+        )
+        .expect("scenario streams are sorted");
         sim.run(&mut PruneGreedyDp::new()).metrics
     };
     let m_small = run(small_workers);

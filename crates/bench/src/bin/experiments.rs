@@ -11,8 +11,14 @@
 //! `fig7` (penalty), `queries`, `hardness`, `all`.
 //! Options: `--city nyc|chengdu|both` (default both), `--scale N`
 //! (divides Table 5's stream/fleet sizes further; default 4),
-//! `--seed S`, `--parallel` (run sweep cells on multiple threads —
-//! distorts response-time panels, fine for shape checks).
+//! `--seed S`, `--parallel` (run sweep cells concurrently, capped at
+//! the hardware thread count — distorts response-time panels, fine for
+//! shape checks), `--threads N` (per-request planning fan-out inside
+//! the DP planners, applied to the figure sweeps and the ablation:
+//! decisions, costs and event logs are identical at any width, but
+//! `dis()` query *counts* are not — parallel pruning probes a superset
+//! — so the §6.2 `queries` experiment always pins threads = 1, and the
+//! single-request `hardness` runs never fan out).
 
 use std::io::Write;
 use std::sync::Arc;
@@ -21,6 +27,7 @@ use std::time::Duration;
 use urpsm_bench::fixtures::CityFixture;
 use urpsm_bench::harness::{run_cell, Algo, Cell, CellResult};
 use urpsm_bench::table::{human, human_bytes, Table};
+use urpsm_core::exec::{IndexFeed, WorkPool};
 use urpsm_workloads::adversary::{AdversaryInstance, Lemma};
 use urpsm_workloads::scenario::City;
 use urpsm_workloads::sweep::table5;
@@ -32,6 +39,9 @@ struct Opts {
     seed: u64,
     parallel: bool,
     repeats: u64,
+    /// Planner-internal fan-out (`PlannerConfig::threads` semantics;
+    /// 0 = inherit the planner default / `URPSM_THREADS`).
+    threads: usize,
 }
 
 impl Default for Opts {
@@ -42,6 +52,7 @@ impl Default for Opts {
             seed: 2018,
             parallel: false,
             repeats: 1,
+            threads: 0,
         }
     }
 }
@@ -49,7 +60,7 @@ impl Default for Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel]");
+        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel] [--threads N]");
         std::process::exit(2);
     };
     let mut opts = Opts::default();
@@ -77,6 +88,10 @@ fn main() {
                 opts.seed = args[i].parse().expect("--seed S");
             }
             "--parallel" => opts.parallel = true,
+            "--threads" => {
+                i += 1;
+                opts.threads = args[i].parse().expect("--threads N");
+            }
             "--repeats" => {
                 i += 1;
                 opts.repeats = args[i].parse().expect("--repeats R");
@@ -295,6 +310,12 @@ fn axis_for(fig: &str, fx: &CityFixture) -> Axis {
 }
 
 /// Runs one axis × all algorithms; `results[value][algo]`.
+///
+/// With `parallel`, cells run concurrently but the number of in-flight
+/// cells is capped at the hardware thread count (a sweep axis ×
+/// repeats used to spawn one OS thread per cell, oversubscribing small
+/// machines): a `WorkPool` of capped width pulls cell indices from an
+/// atomic feed, and results are re-ordered by index afterwards.
 fn run_axis(axis: &Axis, parallel: bool) -> Vec<Vec<CellResult>> {
     let job = |cell: &Cell| -> Vec<CellResult> {
         Algo::ALL
@@ -312,17 +333,24 @@ fn run_axis(axis: &Axis, parallel: bool) -> Vec<Vec<CellResult>> {
             .collect()
     };
     if parallel {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = axis
-                .cells
-                .iter()
-                .map(|cell| scope.spawn(move || job(cell)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cell thread"))
-                .collect()
-        })
+        let width = urpsm_core::exec::available_threads().min(axis.cells.len().max(1));
+        let pool = WorkPool::new(width);
+        let feed = IndexFeed::new(axis.cells.len());
+        let parts = pool.run(|_| {
+            let mut done: Vec<(usize, Vec<CellResult>)> = Vec::new();
+            while let Some(i) = feed.next() {
+                done.push((i, job(&axis.cells[i])));
+            }
+            done
+        });
+        let mut slots: Vec<Option<Vec<CellResult>>> = (0..axis.cells.len()).map(|_| None).collect();
+        for (i, res) in parts.into_iter().flatten() {
+            slots[i] = Some(res);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell ran exactly once"))
+            .collect()
     } else {
         axis.cells.iter().map(job).collect()
     }
@@ -353,7 +381,10 @@ fn figures(opts: &Opts, out: &mut impl Write, figs: &[&str]) {
             let mut mean: Option<Vec<Vec<CellResult>>> = None;
             let mut axis_meta = None;
             for fx in &fixtures {
-                let axis = axis_for(fig, fx);
+                let mut axis = axis_for(fig, fx);
+                for cell in &mut axis.cells {
+                    cell.threads = opts.threads;
+                }
                 eprintln!("  {} ({}) on {}…", axis.figure, axis.label, city.name());
                 let results = run_axis(&axis, opts.parallel);
                 mean = Some(match mean {
@@ -541,7 +572,13 @@ fn queries_experiment(fx: &CityFixture, out: &mut impl Write) {
         ],
     );
     let push_rows = |label: &str, cells: Vec<(String, Cell)>, t: &mut Table| {
-        for (tick, cell) in cells {
+        for (tick, mut cell) in cells {
+            // Query counts are only meaningful sequentially: parallel
+            // pruning probes a superset of the sequential scan, so a
+            // threaded run would overstate pruneGreedyDP's queries and
+            // understate Lemma 8's savings. Pinned regardless of
+            // --threads / URPSM_THREADS.
+            cell.threads = 1;
             let g = run_cell(&cell, Algo::GreedyDp);
             let p = run_cell(&cell, Algo::PruneGreedyDp);
             t.push(vec![
@@ -602,6 +639,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
                 grid_cell_m: cell.grid_cell_m,
                 alpha: cell.alpha,
                 drain: true,
+                threads: opts.threads,
             },
         );
         let res = sim.run(planner);
@@ -630,6 +668,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
         let mut p = PruneGreedyDp::from_config(PlannerConfig {
             alpha: cell.alpha,
             strict_economics: strict,
+            ..PlannerConfig::default()
         });
         let m = run(&mut p, cell.oracle.clone());
         push_metrics(&mut t, label, &m);
@@ -696,6 +735,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
         let mut p = PruneGreedyDp::from_config(PlannerConfig {
             alpha: cell.alpha,
             strict_economics: false,
+            ..PlannerConfig::default()
         });
         let m = run(&mut p, oracle);
         push_metrics(&mut t, label, &m);
@@ -741,12 +781,14 @@ fn hardness(out: &mut impl Write) {
                         grid_cell_m: 100_000.0,
                         alpha: inst.alpha,
                         drain: true,
+                        threads: 0,
                     },
                 )
                 .expect("single-request stream is sorted");
                 let mut planner = PruneGreedyDp::from_config(PlannerConfig {
                     alpha: inst.alpha,
                     strict_economics: false,
+                    ..PlannerConfig::default()
                 });
                 let res = sim.run(&mut planner);
                 assert!(res.audit_errors.is_empty());

@@ -126,6 +126,7 @@ impl CityFixture {
             requests,
             grid_cell_m,
             alpha: self.sweep.alpha,
+            threads: 0,
         }
     }
 

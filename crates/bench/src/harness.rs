@@ -63,11 +63,11 @@ impl Algo {
             Algo::Batch => Box::new(BatchPlanner::new()),
             Algo::GreedyDp => Box::new(GreedyDp::from_config(PlannerConfig {
                 alpha,
-                strict_economics: false,
+                ..PlannerConfig::default()
             })),
             Algo::PruneGreedyDp => Box::new(PruneGreedyDp::from_config(PlannerConfig {
                 alpha,
-                strict_economics: false,
+                ..PlannerConfig::default()
             })),
         }
     }
@@ -85,6 +85,9 @@ pub struct Cell {
     pub grid_cell_m: f64,
     /// Objective weight `α`.
     pub alpha: u64,
+    /// Planning fan-out override (`SimConfig::threads` semantics:
+    /// `0` = keep the planner's own configuration).
+    pub threads: usize,
 }
 
 /// One cell's measured outputs.
@@ -116,6 +119,7 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
             grid_cell_m: cell.grid_cell_m,
             alpha: cell.alpha,
             drain: true,
+            threads: cell.threads,
         },
     );
     let mut planner = algo.planner(cell.alpha, cell.grid_cell_m);

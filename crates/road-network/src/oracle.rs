@@ -350,6 +350,34 @@ mod tests {
     }
 
     #[test]
+    fn counting_stays_exact_under_concurrency() {
+        // The parallel planning engine hammers one shared oracle from
+        // many threads; the §6.2 query statistics must stay *exact*,
+        // not approximately right.
+        let g = square();
+        let c = CountingOracle::new(DijkstraOracle::new(g));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 250;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let u = VertexId(((t + i) % 4) as u32);
+                        let v = VertexId((i % 4) as u32);
+                        c.dis(u, v);
+                        c.euc(u, v);
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.dis, (THREADS * PER_THREAD) as u64);
+        assert_eq!(s.euc, (THREADS * PER_THREAD) as u64);
+        assert_eq!(s.path, 0);
+    }
+
+    #[test]
     fn trait_object_forwarding() {
         let g = square();
         let boxed: Box<dyn DistanceOracle> = Box::new(DijkstraOracle::new(g.clone()));

@@ -31,6 +31,13 @@ pub struct SimConfig {
     /// Whether workers finish their remaining stops after the last
     /// request (needed for exact distance accounting).
     pub drain: bool,
+    /// Planning fan-out override, applied to the planner through
+    /// [`urpsm_core::planner::Planner::set_threads`] when the service
+    /// opens. `0` (the default) keeps whatever the planner was
+    /// configured with — including the `URPSM_THREADS` environment
+    /// default — so replay determinism never depends on this struct.
+    /// Any value produces identical outputs; only wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -39,6 +46,7 @@ impl Default for SimConfig {
             grid_cell_m: 2_000.0,
             alpha: 1,
             drain: true,
+            threads: 0,
         }
     }
 }

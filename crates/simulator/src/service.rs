@@ -79,10 +79,13 @@ impl<'p> MobilityService<'p> {
     pub fn new(
         oracle: Arc<dyn DistanceOracle>,
         workers: Vec<Worker>,
-        planner: Box<dyn Planner + 'p>,
+        mut planner: Box<dyn Planner + 'p>,
         config: SimConfig,
         start_time: Time,
     ) -> Self {
+        if config.threads > 0 {
+            planner.set_threads(config.threads);
+        }
         let state = PlatformState::new(
             Arc::clone(&oracle),
             &workers,

@@ -13,8 +13,9 @@
 
 use road_network::Cost;
 
+use crate::exec::{IndexFeed, WorkPool};
 use crate::lower_bound::insertion_lower_bound;
-use crate::platform::PlatformState;
+use crate::platform::{FleetView, PlatformState};
 use crate::types::{Request, WorkerId};
 
 /// Output of the decision phase.
@@ -36,6 +37,31 @@ impl DecisionOutcome {
     }
 }
 
+/// The one Algo. 4 inner loop every scan shares: compute `LBΔ*` for
+/// each yielded worker and append survivors to `out`. Sequential and
+/// parallel decision phases (and the fused planner) all call this, so
+/// the lower-bound filter can never diverge between them.
+pub(crate) fn collect_lower_bounds(
+    view: FleetView<'_>,
+    r: &Request,
+    direct: Cost,
+    workers: impl Iterator<Item = WorkerId>,
+    out: &mut Vec<(Cost, WorkerId)>,
+) {
+    for w in workers {
+        let agent = view.agent(w);
+        if let Some(lb) = insertion_lower_bound(
+            &agent.route,
+            agent.worker.capacity,
+            r,
+            direct,
+            view.oracle(),
+        ) {
+            out.push((lb, w));
+        }
+    }
+}
+
 /// Runs Algo. 4 over `candidates`. `direct` is `L = dis(o_r, d_r)`,
 /// queried once by the caller.
 pub fn decision_phase(
@@ -45,19 +71,67 @@ pub fn decision_phase(
     r: &Request,
     direct: Cost,
 ) -> DecisionOutcome {
-    let mut lower_bounds = Vec::with_capacity(candidates.len());
-    for &w in candidates {
-        let agent = state.agent(w);
-        if let Some(lb) = insertion_lower_bound(
-            &agent.route,
-            agent.worker.capacity,
+    decision_phase_with(
+        &WorkPool::default(),
+        alpha,
+        state.view(),
+        candidates,
+        r,
+        direct,
+    )
+}
+
+/// Runs Algo. 4 over `candidates` on a [`WorkPool`], fanning the
+/// per-candidate lower bounds out across the pool's threads.
+///
+/// Byte-identical to [`decision_phase`]: each `(LBΔ*, worker)` pair is
+/// a pure function of the immutable [`FleetView`], and the final
+/// `sort_unstable` key `(bound, worker_id)` is a total order, so the
+/// nondeterministic per-thread collection order cannot show in the
+/// output. Falls back to the sequential scan on a serial pool or a
+/// trivially small candidate list.
+pub fn decision_phase_with(
+    pool: &WorkPool,
+    alpha: u64,
+    view: FleetView<'_>,
+    candidates: &[WorkerId],
+    r: &Request,
+    direct: Cost,
+) -> DecisionOutcome {
+    if !pool.is_parallel() || candidates.len() < 2 * pool.threads() {
+        let mut lower_bounds = Vec::with_capacity(candidates.len());
+        collect_lower_bounds(
+            view,
             r,
             direct,
-            state.oracle(),
-        ) {
-            lower_bounds.push((lb, w));
-        }
+            candidates.iter().copied(),
+            &mut lower_bounds,
+        );
+        return finish(alpha, r, lower_bounds);
     }
+    let feed = IndexFeed::new(candidates.len());
+    let parts: Vec<Vec<(Cost, WorkerId)>> = pool.run(|_| {
+        let mut local = Vec::new();
+        collect_lower_bounds(
+            view,
+            r,
+            direct,
+            std::iter::from_fn(|| feed.next().map(|i| candidates[i])),
+            &mut local,
+        );
+        local
+    });
+    finish(alpha, r, parts.into_iter().flatten().collect())
+}
+
+/// Shared tail of both scans: sort by `(bound, worker)` and apply the
+/// economic rejection test `p_r < α · min LB`. The fused parallel
+/// planner replicates exactly this at its barrier merge.
+pub(crate) fn finish(
+    alpha: u64,
+    r: &Request,
+    mut lower_bounds: Vec<(Cost, WorkerId)>,
+) -> DecisionOutcome {
     lower_bounds.sort_unstable();
     let reject = match lower_bounds.first() {
         None => true,
@@ -159,6 +233,22 @@ mod tests {
         let out = decision_phase(1, &state, &[], &r, 200);
         assert!(out.reject);
         assert!(out.min_lower_bound().is_none());
+    }
+
+    #[test]
+    fn parallel_decision_phase_is_byte_identical() {
+        // Enough candidates to clear the fan-out threshold at 4 threads.
+        let vertices: Vec<u32> = (0..40).map(|i| (i * 2) % 90).collect();
+        let state = state(&vertices);
+        let cands: Vec<WorkerId> = (0..40).map(WorkerId).collect();
+        let r = request(31, 47, 100_000, 1_000_000);
+        let direct = state.oracle().dis(r.origin, r.destination);
+        let sequential = decision_phase(1, &state, &cands, &r, direct);
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkPool::new(threads);
+            let par = decision_phase_with(&pool, 1, state.view(), &cands, &r, direct);
+            assert_eq!(sequential, par, "threads = {threads}");
+        }
     }
 
     #[test]

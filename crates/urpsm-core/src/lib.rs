@@ -24,6 +24,11 @@
 //!   service layer (`MobilityService` in the simulator crate) consumes,
 //!   making the online setting of §2 a first-class API: arrivals,
 //!   cancellations, fleet churn and clock ticks.
+//! * [`exec`] — dependency-free scoped-thread fan-out
+//!   ([`exec::WorkPool`], [`exec::IndexFeed`], [`exec::AtomicMin`])
+//!   that the parallel planning engine is built from. The parallel
+//!   planner is extensionally identical to the sequential one
+//!   (`PlannerConfig::threads`, default 1).
 //! * [`objective`] — the unified cost (Eq. 1) and the three objective
 //!   reductions of §3.2, including the revenue identity Eq. (2)–(4).
 #![forbid(unsafe_code)]
@@ -31,6 +36,7 @@
 
 pub mod decision;
 pub mod event;
+pub mod exec;
 pub mod insertion;
 pub mod lower_bound;
 pub mod objective;
@@ -43,6 +49,7 @@ pub mod types;
 pub mod prelude {
     pub use crate::decision::{decision_phase, DecisionOutcome};
     pub use crate::event::{PlatformEvent, ReassignPolicy, WorkerChange};
+    pub use crate::exec::{AtomicMin, IndexFeed, WorkPool};
     pub use crate::insertion::{
         basic_insertion, linear_dp_insertion, linear_dp_insertion_with, naive_dp_insertion,
         InsertionScratch,
@@ -50,7 +57,7 @@ pub mod prelude {
     pub use crate::lower_bound::insertion_lower_bound;
     pub use crate::objective::{ObjectivePreset, UnifiedCost};
     pub use crate::planner::{GreedyDp, Planner, PlannerConfig, PruneGreedyDp};
-    pub use crate::platform::{CancelOutcome, Outcome, PlatformState, WorkerAgent};
+    pub use crate::platform::{CancelOutcome, FleetView, Outcome, PlatformState, WorkerAgent};
     pub use crate::route::{InsertionPlan, PlanShape, Route};
     pub use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
 }

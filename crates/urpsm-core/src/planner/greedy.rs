@@ -9,27 +9,82 @@
 //! of shortest-distance queries differs, which is precisely the paper's
 //! claim (§6.2: 2.76× average speed-up, tens of billions of queries
 //! saved).
+//!
+//! # The parallel engine (`PlannerConfig::threads`)
+//!
+//! Phase 1 (per-candidate lower bounds) and Phase 2 (per-candidate
+//! exact linear-DP probes) are independent per worker, so with
+//! `threads > 1` both fan out over a scoped-thread pool
+//! ([`crate::exec::WorkPool`]) planning against an immutable
+//! [`FleetView`]. Phase 2 shares one [`AtomicMin`] best-`Δ` bound for
+//! Lemma 8 pruning; because the probe order follows the same
+//! ascending-`LB` feed and a stale (too high) bound only *widens* the
+//! probe set, the reduction `min (Δ, worker_id)` is provably the same
+//! argmin the sequential scan finds — the parallel planner is
+//! extensionally identical at every thread count (DESIGN.md §5,
+//! differential suite in `tests/parallel_equivalence.rs`).
 
+use road_network::oracle::DistanceOracle;
 use road_network::{Cost, INF};
 
-use crate::decision::decision_phase;
+use crate::decision::decision_phase_with;
+use crate::exec::{AtomicMin, IndexFeed, WorkPool};
 use crate::insertion::{linear_dp_insertion_with, InsertionScratch};
-use crate::platform::{Outcome, PlatformState};
+use crate::platform::{FleetView, Outcome, PlatformState};
 use crate::route::InsertionPlan;
 use crate::types::{Request, RequestId, WorkerId};
 
 use super::{Planner, PlannerConfig};
 
+/// Minimum shortlisted candidates per fan-out thread: the effective
+/// width is `min(threads, candidates / MIN_CANDIDATES_PER_THREAD)`, so
+/// a narrow request never pays spawn cost for idle workers and a
+/// sub-`2×` shortlist runs sequentially. A pure wall-clock heuristic:
+/// every width returns the same plan.
+const MIN_CANDIDATES_PER_THREAD: usize = 16;
+
+/// The best placement found so far: `(Δ*, worker, plan)`.
+type Best = Option<(Cost, WorkerId, InsertionPlan)>;
+
 /// Shared engine for the two DP planners.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DpEngine {
     cfg: PlannerConfig,
-    scratch: InsertionScratch,
+    pool: WorkPool,
+    /// One scratch per pool thread (index 0 doubles as the sequential
+    /// scratch), grown on demand.
+    scratches: Vec<InsertionScratch>,
     candidates: Vec<WorkerId>,
 }
 
+impl Default for DpEngine {
+    fn default() -> Self {
+        DpEngine::new(PlannerConfig::default())
+    }
+}
+
 impl DpEngine {
+    fn new(cfg: PlannerConfig) -> Self {
+        DpEngine {
+            cfg,
+            pool: WorkPool::new(cfg.threads),
+            scratches: vec![InsertionScratch::default()],
+            candidates: Vec::new(),
+        }
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkPool::new(threads);
+        self.cfg.threads = self.pool.threads();
+    }
+
     fn handle(&mut self, prune: bool, state: &mut PlatformState, r: &Request) -> Outcome {
+        let DpEngine {
+            cfg,
+            pool,
+            scratches,
+            candidates,
+        } = self;
         let oracle = state.oracle_arc();
         let direct = oracle.dis(r.origin, r.destination);
         if direct >= INF {
@@ -39,48 +94,61 @@ impl DpEngine {
 
         // Phase 0 (Algo. 5 line 3): shortlist candidates by grid index
         // and deadline reachability.
-        state.candidate_workers(r, direct, &mut self.candidates);
+        state.candidate_workers(r, direct, candidates);
 
-        // Phase 1 (Algo. 4): Euclidean lower bounds + economic test.
-        let decision = decision_phase(self.cfg.alpha, state, &self.candidates, r, direct);
-        if decision.reject {
-            state.reject(r);
-            return Outcome::Rejected;
-        }
-
-        // Phase 2 (Algo. 5 lines 6–10): scan in ascending LB order.
-        let mut best: Option<(Cost, WorkerId, InsertionPlan)> = None;
-        for &(lb, w) in &decision.lower_bounds {
-            if prune {
-                // Lemma 8: every remaining worker's exact Δ* is at
-                // least its LB, which already exceeds the best found.
-                if let Some((best_delta, _, _)) = &best {
-                    if *best_delta < lb {
-                        break;
-                    }
-                }
-            }
-            let agent = state.agent(w);
-            if let Some(plan) = linear_dp_insertion_with(
-                &mut self.scratch,
-                &agent.route,
-                agent.worker.capacity,
+        // Phases 1–2 (Algo. 4 + Algo. 5 lines 6–10): lower bounds,
+        // economic test, then the exact scan in ascending LB order.
+        // With a wide enough shortlist both phases run fused on one
+        // scoped fan-out (a single spawn set per request), whose width
+        // scales with the shortlist so narrow requests stay serial.
+        let width = pool
+            .threads()
+            .min(candidates.len() / MIN_CANDIDATES_PER_THREAD);
+        let best = if width > 1 {
+            // A rejection (economic or no-feasible-placement) comes
+            // back as `None`, exactly like an empty probe result — the
+            // sequential path rejects in both cases too.
+            plan_fused_parallel(
+                &WorkPool::new(width),
+                scratches,
+                cfg.alpha,
+                prune,
+                state.view(),
                 r,
+                candidates,
+                direct,
                 &*oracle,
-            ) {
-                let better = match &best {
-                    None => true,
-                    Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),
-                };
-                if better {
-                    best = Some((plan.delta, w, plan));
-                }
+            )
+        } else {
+            // Narrow shortlist: both phases sequential. A serial pool
+            // is passed explicitly — the width heuristic above already
+            // decided fan-out doesn't pay for this request, so the
+            // decision phase must not spawn on its own either.
+            let decision = decision_phase_with(
+                &WorkPool::default(),
+                cfg.alpha,
+                state.view(),
+                candidates,
+                r,
+                direct,
+            );
+            if decision.reject {
+                state.reject(r);
+                return Outcome::Rejected;
             }
-        }
+            probe_sequential(
+                &mut scratches[0],
+                prune,
+                state.view(),
+                r,
+                &decision.lower_bounds,
+                &*oracle,
+            )
+        };
 
         match best {
             Some((delta, w, plan)) => {
-                if self.cfg.strict_economics && self.cfg.alpha.saturating_mul(delta) > r.penalty {
+                if cfg.strict_economics && cfg.alpha.saturating_mul(delta) > r.penalty {
                     state.reject(r);
                     Outcome::Rejected
                 } else {
@@ -94,6 +162,206 @@ impl DpEngine {
             }
         }
     }
+}
+
+/// The sequential planning phase — Algo. 5's loop, verbatim.
+fn probe_sequential(
+    scratch: &mut InsertionScratch,
+    prune: bool,
+    view: FleetView<'_>,
+    r: &Request,
+    lbs: &[(Cost, WorkerId)],
+    oracle: &dyn DistanceOracle,
+) -> Best {
+    let mut best: Best = None;
+    for &(lb, w) in lbs {
+        if prune {
+            // Lemma 8: every remaining worker's exact Δ* is at
+            // least its LB, which already exceeds the best found.
+            if let Some((best_delta, _, _)) = &best {
+                if *best_delta < lb {
+                    break;
+                }
+            }
+        }
+        let agent = view.agent(w);
+        if let Some(plan) =
+            linear_dp_insertion_with(scratch, &agent.route, agent.worker.capacity, r, oracle)
+        {
+            let better = match &best {
+                None => true,
+                Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),
+            };
+            if better {
+                best = Some((plan.delta, w, plan));
+            }
+        }
+    }
+    best
+}
+
+/// Phases 1 and 2 fused onto **one** scoped fan-out — a single spawn
+/// set per request, which matters when requests arrive every few
+/// hundred microseconds.
+///
+/// Every thread: (a) pulls candidates off an atomic feed and computes
+/// their Euclidean lower bounds; (b) hits a barrier, where one leader
+/// merges, sorts by `(LB, worker)` and applies the economic gate
+/// `p_r < α · min LB` — exactly the sequential decision phase; (c)
+/// probes the sorted list in ascending `LB` order with a shared
+/// [`AtomicMin`] best-`Δ` bound for Lemma 8.
+///
+/// Why the reduction equals the sequential result: indices are claimed
+/// in ascending `LB` order, the shared bound is monotone decreasing and
+/// only ever holds exact `Δ` values of probed candidates, and a thread
+/// stops only on a *strict* `bound < LB`. So for every candidate left
+/// unprobed there was a moment when `final_best ≤ bound < LB ≤ Δ*` —
+/// strictly worse than the best probed candidate, with no possible tie.
+/// The probe set may be a superset of the sequential scan's (a stale
+/// bound delays stopping), which costs queries, never correctness.
+///
+/// # Panic safety
+///
+/// Everything up to the last barrier is `catch_unwind`-guarded: a
+/// worker that panicked mid-phase would otherwise strand the rest of
+/// the pool at the barrier forever (the scope never joins, the panic
+/// never surfaces). Instead the payload is carried out of the scope
+/// and re-thrown on the calling thread after every worker has joined.
+#[allow(clippy::too_many_arguments)]
+fn plan_fused_parallel(
+    pool: &WorkPool,
+    scratches: &mut Vec<InsertionScratch>,
+    alpha: u64,
+    prune: bool,
+    view: FleetView<'_>,
+    r: &Request,
+    candidates: &[WorkerId],
+    direct: Cost,
+    oracle: &dyn DistanceOracle,
+) -> Best {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Barrier, Mutex, OnceLock};
+
+    // A worker panic payload, smuggled through the scope join.
+    type Panic = Box<dyn std::any::Any + Send + 'static>;
+    // Poison-tolerant lock: a panicking appender poisons the mutex, but
+    // its panic is re-thrown after the join anyway, so the partial data
+    // is never *used* — the survivors only need to get past the lock.
+    fn lock_lbs<'m>(
+        m: &'m Mutex<Vec<(Cost, WorkerId)>>,
+    ) -> std::sync::MutexGuard<'m, Vec<(Cost, WorkerId)>> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    let threads = pool.threads();
+    if scratches.len() < threads {
+        scratches.resize_with(threads, InsertionScratch::default);
+    }
+    let lb_feed = IndexFeed::new(candidates.len());
+    let collected: Mutex<Vec<(Cost, WorkerId)>> = Mutex::new(Vec::with_capacity(candidates.len()));
+    let barrier = Barrier::new(threads);
+    // What the barrier leader publishes: the decision outcome plus the
+    // probe feed over its sorted `(LBΔ*, worker)` list.
+    type Merged = (crate::decision::DecisionOutcome, IndexFeed);
+    let merged: OnceLock<Merged> = OnceLock::new();
+    let bound = AtomicMin::new();
+
+    let locals: Vec<Result<Best, Panic>> =
+        pool.run_with(&mut scratches[..threads], |_, scratch| {
+            // Phase 1 (Algo. 4): every candidate's lower bound — the same
+            // `collect_lower_bounds` loop as the sequential decision phase.
+            let phase1 = catch_unwind(AssertUnwindSafe(|| {
+                let mut local_lbs: Vec<(Cost, WorkerId)> = Vec::new();
+                crate::decision::collect_lower_bounds(
+                    view,
+                    r,
+                    direct,
+                    std::iter::from_fn(|| lb_feed.next().map(|i| candidates[i])),
+                    &mut local_lbs,
+                );
+                if !local_lbs.is_empty() {
+                    lock_lbs(&collected).append(&mut local_lbs);
+                }
+            }));
+            // Merge point: one leader sorts and applies the economic gate —
+            // `decision::finish`, the sequential tail, verbatim.
+            if barrier.wait().is_leader() {
+                let merge = catch_unwind(AssertUnwindSafe(|| {
+                    let lbs = std::mem::take(&mut *lock_lbs(&collected));
+                    let outcome = crate::decision::finish(alpha, r, lbs);
+                    let feed = IndexFeed::new(if outcome.reject {
+                        0
+                    } else {
+                        outcome.lower_bounds.len()
+                    });
+                    if merged.set((outcome, feed)).is_err() {
+                        unreachable!("exactly one barrier leader");
+                    }
+                }));
+                if let Err(payload) = merge {
+                    barrier.wait(); // release the others before bailing
+                    return Err(payload);
+                }
+            }
+            barrier.wait();
+            phase1?;
+            let Some((decision, probe_feed)) = merged.get() else {
+                // The leader died before publishing; its Err carries the
+                // panic, everyone else just goes home empty-handed.
+                return Ok(None);
+            };
+            if decision.reject {
+                return Ok(None);
+            }
+            // Phase 2 (Algo. 5 lines 6–10): ascending-LB probes under the
+            // shared bound. Past the barriers a plain panic is safe again —
+            // the scope join propagates it.
+            let lbs = &decision.lower_bounds;
+            let mut local: Best = None;
+            while let Some(i) = probe_feed.next() {
+                let (lb, w) = lbs[i];
+                if prune && bound.get() < lb {
+                    break;
+                }
+                let agent = view.agent(w);
+                if let Some(plan) = linear_dp_insertion_with(
+                    scratch,
+                    &agent.route,
+                    agent.worker.capacity,
+                    r,
+                    oracle,
+                ) {
+                    if prune {
+                        bound.observe(plan.delta);
+                    }
+                    let better = match &local {
+                        None => true,
+                        Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),
+                    };
+                    if better {
+                        local = Some((plan.delta, w, plan));
+                    }
+                }
+            }
+            Ok(local)
+        });
+    let mut best: Best = None;
+    for local in locals {
+        match local {
+            Err(payload) => resume_unwind(payload),
+            Ok(Some(b)) => {
+                let better = match &best {
+                    None => true,
+                    Some((bd, bw, _)) => (b.0, b.1) < (*bd, *bw),
+                };
+                if better {
+                    best = Some(b);
+                }
+            }
+            Ok(None) => {}
+        }
+    }
+    best
 }
 
 /// The paper's full solution: `pruneGreedyDP` (Algo. 5).
@@ -111,11 +379,16 @@ impl PruneGreedyDp {
     /// Planner with an explicit configuration.
     pub fn from_config(cfg: PlannerConfig) -> Self {
         PruneGreedyDp {
-            engine: DpEngine {
-                cfg,
-                ..DpEngine::default()
-            },
+            engine: DpEngine::new(cfg),
         }
+    }
+
+    /// Default configuration with a `threads`-wide planning fan-out.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::from_config(PlannerConfig {
+            threads,
+            ..PlannerConfig::default()
+        })
     }
 }
 
@@ -126,6 +399,10 @@ impl Planner for PruneGreedyDp {
 
     fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
         vec![(r.id, self.engine.handle(true, state, r))]
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
     }
 
     // Default `on_cancel`/`on_worker_change` hooks are correct here:
@@ -150,11 +427,16 @@ impl GreedyDp {
     /// Planner with an explicit configuration.
     pub fn from_config(cfg: PlannerConfig) -> Self {
         GreedyDp {
-            engine: DpEngine {
-                cfg,
-                ..DpEngine::default()
-            },
+            engine: DpEngine::new(cfg),
         }
+    }
+
+    /// Default configuration with a `threads`-wide planning fan-out.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::from_config(PlannerConfig {
+            threads,
+            ..PlannerConfig::default()
+        })
     }
 }
 
@@ -165,6 +447,10 @@ impl Planner for GreedyDp {
 
     fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
         vec![(r.id, self.engine.handle(false, state, r))]
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
     }
 
     // Default lifecycle hooks: immediate decisions, fleet re-read from
@@ -277,6 +563,67 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engine_matches_sequential_outcomes() {
+        let oracle = line_counting_oracle(400);
+        let origins: Vec<u32> = (0..80).map(|i| (i * 7) % 400).collect();
+        let stream: Vec<Request> = (0..30)
+            .map(|i| {
+                let o = (i * 37) % 390;
+                request(i, o, (o + 5 + (i % 7)) % 400, 1_000_000, u64::MAX / 4)
+            })
+            .collect();
+
+        let run = |prune: bool, threads: usize| -> Vec<(RequestId, Outcome)> {
+            let mut state = fresh_state(oracle.clone(), &origins);
+            let cfg = PlannerConfig {
+                alpha: 1,
+                strict_economics: false,
+                threads,
+            };
+            let mut planner: Box<dyn Planner> = if prune {
+                Box::new(PruneGreedyDp::from_config(cfg))
+            } else {
+                Box::new(GreedyDp::from_config(cfg))
+            };
+            stream
+                .iter()
+                .flat_map(|r| planner.on_request(&mut state, r))
+                .collect()
+        };
+
+        for prune in [false, true] {
+            let sequential = run(prune, 1);
+            // Every decision must be an assignment for the test to be
+            // meaningful (all candidates compete).
+            assert!(sequential
+                .iter()
+                .any(|(_, o)| matches!(o, Outcome::Assigned { .. })));
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    sequential,
+                    run(prune, threads),
+                    "prune={prune} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_threads_reshapes_the_engine() {
+        let oracle = line_counting_oracle(100);
+        let mut state = fresh_state(oracle, &[0, 40, 80]);
+        let mut planner = PruneGreedyDp::new();
+        planner.set_threads(4);
+        assert_eq!(planner.engine.pool.threads(), 4);
+        let r = request(1, 42, 50, 100_000, 1_000_000);
+        let out = planner.on_request(&mut state, &r);
+        assert!(matches!(out[0].1, Outcome::Assigned { .. }));
+        // `0` = one per core (≥ 1 on every platform).
+        planner.set_threads(0);
+        assert!(planner.engine.pool.threads() >= 1);
+    }
+
+    #[test]
     fn cheap_penalty_rejected_in_decision_phase() {
         let oracle = line_counting_oracle(100);
         let mut state = fresh_state(oracle, &[0]);
@@ -305,6 +652,7 @@ mod tests {
         let mut strict = PruneGreedyDp::from_config(PlannerConfig {
             alpha: 1,
             strict_economics: true,
+            ..PlannerConfig::default()
         });
         let out = strict.on_request(&mut state, &r);
         assert_eq!(out[0].1, Outcome::Rejected);

@@ -36,15 +36,38 @@ pub struct PlannerConfig {
     /// only applies the economic test to the lower bound in the
     /// decision phase.
     pub strict_economics: bool,
+    /// Width of the planning fan-out (DESIGN.md §5): `1` (the default)
+    /// is the sequential engine byte for byte; `n > 1` runs the
+    /// decision-phase lower bounds and the exact linear-DP probes on
+    /// `n` scoped threads with a shared atomic best-`Δ` bound for
+    /// Lemma 8 pruning. Any width produces *identical* outputs — only
+    /// wall-clock and the number of pruned probes change. `0` means
+    /// one thread per hardware core.
+    pub threads: usize,
 }
 
 impl Default for PlannerConfig {
+    /// `α = 1`, lax economics, and the thread count from the
+    /// `URPSM_THREADS` environment variable (default 1). The env knob
+    /// exists so an entire test suite or benchmark run can exercise
+    /// the parallel engine without touching every construction site
+    /// (CI runs the suite at `URPSM_THREADS=1` and `=4`).
     fn default() -> Self {
         PlannerConfig {
             alpha: 1,
             strict_economics: false,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// Reads `URPSM_THREADS` (≥ 1, or `0` for one-per-core); unset or
+/// unparsable means 1 — the sequential engine.
+pub fn threads_from_env() -> usize {
+    std::env::var("URPSM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
 }
 
 /// An online route planner for shared mobility.
@@ -93,6 +116,14 @@ pub trait Planner {
     /// Default: no-op — correct for the paper's planners, which look
     /// workers up through the grid index on every decision.
     fn on_worker_change(&mut self, _state: &mut PlatformState, _change: WorkerChange) {}
+
+    /// Re-sizes the planner's internal fan-out (`PlannerConfig::
+    /// threads` semantics: `1` sequential, `0` one-per-core). The
+    /// service layer plumbs its `SimConfig::threads` override through
+    /// this hook. Default: no-op — correct for planners without a
+    /// parallel engine; changing the width never changes any planner's
+    /// output, only its wall-clock.
+    fn set_threads(&mut self, _threads: usize) {}
 }
 
 impl<P: Planner + ?Sized> Planner for Box<P> {
@@ -116,6 +147,9 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     }
     fn on_worker_change(&mut self, state: &mut PlatformState, change: WorkerChange) {
         (**self).on_worker_change(state, change)
+    }
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
     }
 }
 
@@ -144,5 +178,8 @@ impl<P: Planner + ?Sized> Planner for &mut P {
     }
     fn on_worker_change(&mut self, state: &mut PlatformState, change: WorkerChange) {
         (**self).on_worker_change(state, change)
+    }
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
     }
 }

@@ -16,7 +16,16 @@
 //!   worker-departure reassignment ([`PlatformState::strip_unpicked`])
 //!   — and the latter two refuse to touch a rider who is already
 //!   onboard: once picked up, delivery is irrevocable.
+//!
+//! The API is split into two planes (DESIGN.md §5): every *read* —
+//! [`PlatformState::candidate_workers`], [`PlatformState::agent`], the
+//! decision phase — takes `&self` and is safe to run from many threads
+//! at once ([`PlatformState`] is `Sync`); every *mutation* — commit,
+//! reject, movement, lifecycle — takes `&mut self` and therefore has
+//! the world to itself. [`FleetView`] is the read plane as a type: a
+//! borrow-checked snapshot the parallel planners fan out over.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use road_network::fxhash::{FxHashMap, FxHashSet};
@@ -110,8 +119,14 @@ pub struct PlatformState {
     completed: FxHashSet<RequestId>,
     /// Requests successfully cancelled after assignment.
     cancelled: Vec<RequestId>,
+}
+
+thread_local! {
     /// Scratch buffer for grid queries (avoids per-request allocation).
-    grid_scratch: Vec<u64>,
+    /// Thread-local rather than a `PlatformState` field so that
+    /// [`PlatformState::candidate_workers`] can take `&self` — the
+    /// query plane must be callable from many planner threads at once.
+    static GRID_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 impl PlatformState {
@@ -154,7 +169,6 @@ impl PlatformState {
             assignment: FxHashMap::default(),
             completed: FxHashSet::default(),
             cancelled: Vec::new(),
-            grid_scratch: Vec::new(),
         }
     }
 
@@ -234,19 +248,27 @@ impl PlatformState {
     /// beat a straight line at top speed.
     ///
     /// `direct` is `L = dis(o_r, d_r)`. Results are sorted by worker id
-    /// for determinism.
-    pub fn candidate_workers(&mut self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
+    /// for determinism. Pure read: safe to call concurrently.
+    pub fn candidate_workers(&self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
         out.clear();
         let pickup_ddl = r.deadline.saturating_sub(direct);
         let budget_cs = pickup_ddl.saturating_sub(self.now);
         // centiseconds → meters at top speed.
         let radius_m = (budget_cs as f64 / 100.0) * self.oracle.top_speed_mps();
         let origin = self.oracle.point(r.origin);
-        let mut scratch = std::mem::take(&mut self.grid_scratch);
-        self.grid.items_within(origin, radius_m, &mut scratch);
-        out.extend(scratch.iter().map(|&id| WorkerId(id as u32)));
-        self.grid_scratch = scratch;
+        GRID_SCRATCH.with_borrow_mut(|scratch| {
+            self.grid.items_within(origin, radius_m, scratch);
+            out.extend(scratch.iter().map(|&id| WorkerId(id as u32)));
+        });
         out.sort_unstable();
+    }
+
+    /// The read plane as a value: a borrow-checked, `Sync` snapshot of
+    /// the fleet that concurrent planners plan against. While a view is
+    /// alive the borrow checker guarantees no mutation can happen.
+    #[inline]
+    pub fn view(&self) -> FleetView<'_> {
+        FleetView { state: self }
     }
 
     /// Commits an insertion plan: splices the stops into the worker's
@@ -554,6 +576,67 @@ impl PlatformState {
     }
 }
 
+/// A read-only snapshot of the platform — the *query plane* as a type.
+///
+/// A `FleetView` borrows the [`PlatformState`] immutably, so while any
+/// view is alive the borrow checker rules out commits, movement and
+/// lifecycle mutations; and because `PlatformState` is `Sync`, one view
+/// can be shared across every thread of a planning fan-out
+/// ([`crate::exec::WorkPool`]). It exposes exactly the operations the
+/// decision and planning phases need.
+#[derive(Clone, Copy)]
+pub struct FleetView<'a> {
+    state: &'a PlatformState,
+}
+
+impl<'a> FleetView<'a> {
+    /// Current platform time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.state.now()
+    }
+
+    /// The distance oracle.
+    #[inline]
+    pub fn oracle(&self) -> &'a dyn DistanceOracle {
+        self.state.oracle()
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.state.num_workers()
+    }
+
+    /// Read access to a worker agent.
+    #[inline]
+    pub fn agent(&self, w: WorkerId) -> &'a WorkerAgent {
+        &self.state.agents[w.idx()]
+    }
+
+    /// All agents.
+    #[inline]
+    pub fn agents(&self) -> &'a [WorkerAgent] {
+        self.state.agents()
+    }
+
+    /// Deadline-reachability shortlist — see
+    /// [`PlatformState::candidate_workers`].
+    #[inline]
+    pub fn candidate_workers(&self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
+        self.state.candidate_workers(r, direct, out);
+    }
+}
+
+// The whole point of the query plane: reads are shareable across
+// threads. Compile-time proof that nothing with interior mutability
+// sneaks back into `PlatformState`.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<PlatformState>();
+    assert_sync::<FleetView<'_>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,7 +679,7 @@ mod tests {
     fn candidate_filter_respects_pickup_reachability() {
         let oracle = line_oracle(100);
         let ws = workers(3, 0, 4); // workers at vertices 0, 1, 2
-        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let state = PlatformState::new(oracle, &ws, 10.0, 0);
         // Pickup at vertex 50, deadline leaves 10s of pickup budget at
         // 1 m/s ⇒ 10 m radius: no worker is within 10 m of x=50.
         let r = request(1, 50, 52, 1_200); // L = 200 cs; pickup ddl = 1000 cs = 10 s
@@ -788,6 +871,34 @@ mod tests {
             origin: VertexId(0),
             capacity: 2,
         });
+    }
+
+    #[test]
+    fn concurrent_candidate_queries_match_sequential() {
+        let oracle = line_oracle(100);
+        let ws = workers(3, 0, 4);
+        let state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r = request(2, 50, 52, 100_000);
+        let mut expect = Vec::new();
+        state.candidate_workers(&r, 200, &mut expect);
+        assert_eq!(expect, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+
+        // The same query through a shared view, from four threads at
+        // once — `&self` reads need no coordination.
+        let view = state.view();
+        let pool = crate::exec::WorkPool::new(4);
+        let outs = pool.run(|_| {
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                view.candidate_workers(&r, 200, &mut out);
+            }
+            out
+        });
+        for out in outs {
+            assert_eq!(out, expect);
+        }
+        assert_eq!(view.num_workers(), 3);
+        assert_eq!(view.agent(WorkerId(1)).worker.id, WorkerId(1));
     }
 
     #[test]

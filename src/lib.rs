@@ -115,6 +115,7 @@ pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> Mobil
             grid_cell_m: scenario.grid_cell_m,
             alpha: scenario.alpha,
             drain: true,
+            threads: 0,
         },
         start_time,
     )
@@ -134,6 +135,7 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
             grid_cell_m: scenario.grid_cell_m,
             alpha: scenario.alpha,
             drain: true,
+            threads: 0,
         },
     )
     .expect("scenario request streams are sorted by construction")

@@ -37,6 +37,7 @@ fn run_counted(
             grid_cell_m: scenario.grid_cell_m,
             alpha: scenario.alpha,
             drain: true,
+            threads: 0,
         },
     )
     .expect("scenario streams are sorted");
@@ -133,6 +134,7 @@ fn strict_economics_never_increases_unified_cost_much() {
     let mut strict = PruneGreedyDp::from_config(PlannerConfig {
         alpha: 1,
         strict_economics: true,
+        ..PlannerConfig::default()
     });
     let out_lax = urpsm::simulate(&sc, &mut lax);
     let out_strict = urpsm::simulate(&sc, &mut strict);

@@ -16,9 +16,15 @@
 //! shape checks), `--threads N` (per-request planning fan-out inside
 //! the DP planners, applied to the figure sweeps and the ablation:
 //! decisions, costs and event logs are identical at any width, but
-//! `dis()` query *counts* are not — parallel pruning probes a superset
+//! `dis()` query *counts* are not — scheduling changes the probe set
+//! in either direction
 //! — so the §6.2 `queries` experiment always pins threads = 1, and the
-//! single-request `hardness` runs never fan out).
+//! single-request `hardness` runs never fan out), `--shards K` (run
+//! the figure sweeps through the geo-sharded dispatch plane with `K`
+//! shards and `Borrow` seams — unlike `--threads`, sharding is allowed
+//! to change quality, and the sweep quantifies by how much; the
+//! `queries` experiment ignores it for the same reason it pins
+//! threads = 1).
 
 use std::io::Write;
 use std::sync::Arc;
@@ -42,6 +48,12 @@ struct Opts {
     /// Planner-internal fan-out (`PlannerConfig::threads` semantics;
     /// 0 = inherit the planner default / `URPSM_THREADS`).
     threads: usize,
+    /// Geo-sharding for the figure sweeps (`Cell::shards` semantics:
+    /// 0 = the plain single-service path, K ≥ 1 = a `ShardedService`
+    /// with K shards and `Borrow` seams). Sharding legitimately
+    /// changes solution quality — the point of sweeping it is to see
+    /// by how much.
+    shards: usize,
 }
 
 impl Default for Opts {
@@ -53,6 +65,7 @@ impl Default for Opts {
             parallel: false,
             repeats: 1,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -60,7 +73,7 @@ impl Default for Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel] [--threads N]");
+        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel] [--threads N] [--shards K]");
         std::process::exit(2);
     };
     let mut opts = Opts::default();
@@ -91,6 +104,10 @@ fn main() {
             "--threads" => {
                 i += 1;
                 opts.threads = args[i].parse().expect("--threads N");
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = args[i].parse().expect("--shards K");
             }
             "--repeats" => {
                 i += 1;
@@ -384,6 +401,7 @@ fn figures(opts: &Opts, out: &mut impl Write, figs: &[&str]) {
                 let mut axis = axis_for(fig, fx);
                 for cell in &mut axis.cells {
                     cell.threads = opts.threads;
+                    cell.shards = opts.shards;
                 }
                 eprintln!("  {} ({}) on {}…", axis.figure, axis.label, city.name());
                 let results = run_axis(&axis, opts.parallel);
@@ -573,10 +591,10 @@ fn queries_experiment(fx: &CityFixture, out: &mut impl Write) {
     );
     let push_rows = |label: &str, cells: Vec<(String, Cell)>, t: &mut Table| {
         for (tick, mut cell) in cells {
-            // Query counts are only meaningful sequentially: parallel
-            // pruning probes a superset of the sequential scan, so a
-            // threaded run would overstate pruneGreedyDP's queries and
-            // understate Lemma 8's savings. Pinned regardless of
+            // Query counts are only meaningful sequentially: thread
+            // scheduling changes the probe set in either direction, so
+            // a threaded run would distort pruneGreedyDP's query count
+            // and misstate Lemma 8's savings. Pinned regardless of
             // --threads / URPSM_THREADS.
             cell.threads = 1;
             let g = run_cell(&cell, Algo::GreedyDp);

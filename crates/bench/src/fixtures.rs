@@ -127,6 +127,7 @@ impl CityFixture {
             grid_cell_m,
             alpha: self.sweep.alpha,
             threads: 0,
+            shards: 0,
         }
     }
 

@@ -8,8 +8,10 @@ use road_network::oracle::{CountingOracle, DistanceOracle, QueryStats};
 use urpsm_baselines::batch::BatchPlanner;
 use urpsm_baselines::kinetic::{KineticConfig, KineticPlanner};
 use urpsm_baselines::tshare::{TShareConfig, TSharePlanner};
+use urpsm_core::event::PlatformEvent;
 use urpsm_core::planner::{GreedyDp, Planner, PlannerConfig, PruneGreedyDp};
 use urpsm_core::types::{Request, Worker};
+use urpsm_dispatch::service::{ShardConfig, ShardedService};
 use urpsm_simulator::engine::{SimConfig, SimOutcome, Simulation};
 
 /// The five algorithms of §6, in the paper's legend order.
@@ -86,8 +88,15 @@ pub struct Cell {
     /// Objective weight `α`.
     pub alpha: u64,
     /// Planning fan-out override (`SimConfig::threads` semantics:
-    /// `0` = keep the planner's own configuration).
+    /// `0` = keep the planner's own configuration). When the cell is
+    /// sharded (`shards ≥ 1`), this instead drives the shard fan-out
+    /// pool (`ShardConfig::threads`, clamped to ≥ 1) and the per-shard
+    /// planners keep their own configuration.
     pub threads: usize,
+    /// Geo-sharding: `0` (the default) runs the plain single-service
+    /// path; `K ≥ 1` runs the cell through a `ShardedService` with `K`
+    /// shards under the default `Borrow` boundary policy.
+    pub shards: usize,
 }
 
 /// One cell's measured outputs.
@@ -106,10 +115,15 @@ pub struct CellResult {
     pub audit_errors: Vec<String>,
 }
 
-/// Runs one `(cell, algorithm)` pair.
+/// Runs one `(cell, algorithm)` pair — through a `ShardedService` when
+/// the cell asks for geo-sharding, through the plain `Simulation`
+/// otherwise.
 pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
     let counting: Arc<CountingOracle<Arc<dyn DistanceOracle>>> =
         Arc::new(CountingOracle::new(cell.oracle.clone()));
+    if cell.shards >= 1 {
+        return run_cell_sharded(cell, algo, counting);
+    }
     // Streams out of the workload generators are sorted by construction.
     let sim = Simulation::new_sorted_unchecked(
         counting.clone(),
@@ -143,6 +157,56 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
     }
 }
 
+/// The geo-sharded cell path: K independent shards, each planning with
+/// its own instance of `algo`'s planner, default `Borrow` seams.
+fn run_cell_sharded(
+    cell: &Cell,
+    algo: Algo,
+    counting: Arc<CountingOracle<Arc<dyn DistanceOracle>>>,
+) -> CellResult {
+    let start_time = cell.requests.first().map_or(0, |r| r.release);
+    let mut service = ShardedService::new(
+        counting.clone(),
+        cell.workers.clone(),
+        |_| algo.planner(cell.alpha, cell.grid_cell_m),
+        ShardConfig {
+            shards: cell.shards,
+            threads: cell.threads.max(1),
+            sim: SimConfig {
+                grid_cell_m: cell.grid_cell_m,
+                alpha: cell.alpha,
+                drain: true,
+                threads: 0,
+            },
+            ..ShardConfig::default()
+        },
+        start_time,
+    );
+    for r in &cell.requests {
+        service.submit(PlatformEvent::RequestArrived(*r));
+    }
+    let out = service.drain();
+    let index_mem_bytes = out
+        .shards
+        .iter()
+        .map(|s| {
+            s.outcome
+                .state
+                .sorted_grid()
+                .map(|sg| sg.mem_bytes())
+                .unwrap_or_else(|| s.outcome.state.grid_mem_bytes())
+        })
+        .sum();
+    CellResult {
+        unified_cost: out.metrics.unified_cost.value(),
+        served_rate: out.metrics.served_rate(),
+        response_time: out.metrics.response_time(),
+        queries: counting.stats(),
+        index_mem_bytes,
+        audit_errors: out.audit_errors,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +228,19 @@ mod tests {
             assert!(res.served_rate >= 0.0 && res.served_rate <= 1.0);
             assert!(res.queries.dis > 0, "{} issued no queries", algo.name());
         }
+    }
+
+    #[test]
+    fn sharded_cells_match_direct_at_one_shard_and_stay_clean_beyond() {
+        let fx = CityFixture::build(City::ChengduLike, 40, 1);
+        let mut cell = fx.cell(8, 4, 60_000, 10, 2_000.0);
+        let direct = run_cell(&cell, Algo::PruneGreedyDp);
+        cell.shards = 1;
+        let one = run_cell(&cell, Algo::PruneGreedyDp);
+        assert_eq!(one.unified_cost, direct.unified_cost);
+        assert_eq!(one.served_rate, direct.served_rate);
+        cell.shards = 4;
+        let four = run_cell(&cell, Algo::PruneGreedyDp);
+        assert!(four.audit_errors.is_empty(), "{:?}", four.audit_errors);
     }
 }

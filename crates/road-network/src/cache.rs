@@ -184,11 +184,13 @@ pub const DIS_SHARDS: usize = 16;
 /// Shard index for a symmetric key: one Fx-style multiply, taking the
 /// *high* bits (the low bits of a multiplicative hash are the weak
 /// ones). Same key → same shard, so hit/miss accounting per pair is
-/// unchanged by sharding.
+/// unchanged by sharding. The shift is derived from [`DIS_SHARDS`] so
+/// retuning the constant keeps every shard reachable.
 #[inline]
 fn shard_of(key: (u32, u32)) -> usize {
+    const SHIFT: u32 = 64 - DIS_SHARDS.trailing_zeros();
     let x = (u64::from(key.0) << 32) | u64::from(key.1);
-    (x.wrapping_mul(0x517c_c1b7_2722_0a95) >> 60) as usize & (DIS_SHARDS - 1)
+    (x.wrapping_mul(0x517c_c1b7_2722_0a95) >> SHIFT) as usize & (DIS_SHARDS - 1)
 }
 
 /// Decorator caching `dis` and `shortest_path` results of an inner

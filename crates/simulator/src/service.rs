@@ -31,7 +31,7 @@ use road_network::oracle::DistanceOracle;
 use road_network::Cost;
 use urpsm_core::event::{PlatformEvent, ReassignPolicy, WorkerChange};
 use urpsm_core::planner::Planner;
-use urpsm_core::platform::{CancelOutcome, Outcome, PlatformState};
+use urpsm_core::platform::{CancelOutcome, HandoffTicket, Outcome, PlatformState};
 use urpsm_core::types::{Request, RequestId, StopKind, Time, Worker, WorkerId};
 
 use crate::audit::audit_events;
@@ -265,6 +265,38 @@ impl<'p> MobilityService<'p> {
         }
     }
 
+    /// Exports an idle worker for a cross-service handoff (the
+    /// geo-sharded dispatch plane moves border workers between shards
+    /// through this): retires the worker here, logs its departure, and
+    /// returns the [`HandoffTicket`] the receiving service turns into a
+    /// [`PlatformEvent::WorkerJoined`] under its own dense id.
+    ///
+    /// Refused (`None`, no mutation, no event) for unknown workers and
+    /// for workers with committed stops — only a worker with nothing
+    /// promised can change jurisdictions, which is what keeps the
+    /// driven/planned ledgers of both services exact (see
+    /// [`PlatformState::export_worker`]).
+    pub fn handoff_worker(&mut self, w: WorkerId) -> Option<HandoffTicket> {
+        if w.idx() >= self.state.num_workers() {
+            return None;
+        }
+        let ticket = self.state.export_worker(w)?;
+        self.events.push(SimEvent::WorkerLeft {
+            t: self.last_time,
+            w,
+        });
+        let t0 = Instant::now();
+        self.planner.on_worker_change(
+            &mut self.state,
+            WorkerChange::Left {
+                worker: w,
+                policy: ReassignPolicy::Drain,
+            },
+        );
+        self.planning_time += t0.elapsed();
+        Some(ticket)
+    }
+
     // ── internals ────────────────────────────────────────────────────
 
     /// Fires every planner wake-up due at or before `t` (batch epoch
@@ -395,6 +427,15 @@ impl<'p> MobilityService<'p> {
         }
     }
 }
+
+// The dispatch plane fans broadcast events out over shards on scoped
+// threads, which requires moving each shard's service (planner
+// included — `Planner: Send` is a supertrait) across a thread spawn.
+// Compile-time proof that the whole service stays sendable.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MobilityService<'static>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -567,6 +608,37 @@ mod tests {
         let out = svc.drain();
         assert_eq!(out.audit_errors, Vec::<String>::new());
         assert_eq!(out.metrics.served, 1);
+        assert_eq!(
+            out.metrics.driven_distance,
+            out.state.total_assigned_distance()
+        );
+    }
+
+    #[test]
+    fn handoff_exports_idle_workers_and_stays_audit_clean() {
+        let mut svc = service(&[0, 40]);
+        svc.submit(PlatformEvent::RequestArrived(req(0, 5, 10, 0, 100_000)));
+        // Worker 0 is busy with r0: the handoff must be refused.
+        assert_eq!(svc.handoff_worker(WorkerId(0)), None);
+        // Worker 1 is idle at vertex 40: exported, logged, retired.
+        svc.submit(PlatformEvent::Tick { at: 200 });
+        let ticket = svc.handoff_worker(WorkerId(1)).expect("idle worker");
+        assert_eq!(ticket.position, VertexId(40));
+        assert!(svc
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::WorkerLeft { w, .. } if *w == WorkerId(1))));
+        // Unknown worker: refused.
+        assert_eq!(svc.handoff_worker(WorkerId(9)), None);
+        // A request at the exported worker's doorstep must not reach it.
+        svc.submit(PlatformEvent::RequestArrived(req(1, 39, 35, 300, 100_000)));
+        let out = svc.drain();
+        assert_eq!(out.audit_errors, Vec::<String>::new());
+        for ev in &out.events {
+            if let SimEvent::Assigned { w, .. } = ev {
+                assert_eq!(*w, WorkerId(0), "exported worker must take no work");
+            }
+        }
         assert_eq!(
             out.metrics.driven_distance,
             out.state.total_assigned_distance()

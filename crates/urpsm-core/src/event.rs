@@ -15,6 +15,8 @@
 //! [`crate::planner::Planner::on_cancel`] /
 //! [`crate::planner::Planner::on_worker_change`].
 
+use road_network::VertexId;
+
 use crate::types::{Request, RequestId, Time, Worker, WorkerId};
 
 /// What happens to a departing worker's not-yet-picked-up requests.
@@ -93,6 +95,31 @@ impl PlatformEvent {
         }
     }
 
+    /// How a partitioned dispatcher should route this event — the
+    /// event's *home* is a pure function of its payload, so every
+    /// dispatcher (and every replay of the same stream) agrees on it:
+    ///
+    /// * arrivals go to the shard owning the **pickup** location,
+    /// * joins go to the shard owning the position the worker comes
+    ///   online at,
+    /// * cancellations follow the request (wherever its arrival went),
+    /// * departures follow the worker (it may have been handed off
+    ///   since it joined),
+    /// * ticks are broadcast.
+    ///
+    /// Consumed by `urpsm_dispatch::ShardedService`; a single-shard
+    /// deployment can ignore it entirely.
+    #[inline]
+    pub fn routing(&self) -> EventRouting {
+        match *self {
+            PlatformEvent::RequestArrived(r) => EventRouting::Origin(r.origin),
+            PlatformEvent::RequestCancelled { request, .. } => EventRouting::Request(request),
+            PlatformEvent::WorkerJoined { worker, .. } => EventRouting::Origin(worker.origin),
+            PlatformEvent::WorkerLeft { worker, .. } => EventRouting::Worker(worker),
+            PlatformEvent::Tick { .. } => EventRouting::Broadcast,
+        }
+    }
+
     /// Deterministic ordering rank for events at the same timestamp:
     /// capacity arrives before demand (joins first), departures and
     /// ticks last — so a worker joining at `t` can serve a request
@@ -108,6 +135,21 @@ impl PlatformEvent {
             PlatformEvent::Tick { .. } => 4,
         }
     }
+}
+
+/// Where a [`PlatformEvent`] belongs in a partitioned deployment —
+/// the routing metadata behind [`PlatformEvent::routing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventRouting {
+    /// Route by geographic anchor: the shard whose territory contains
+    /// this vertex owns the event.
+    Origin(VertexId),
+    /// Route to wherever this request's arrival was routed.
+    Request(RequestId),
+    /// Route to the shard that currently owns this worker.
+    Worker(WorkerId),
+    /// Deliver to every shard.
+    Broadcast,
 }
 
 /// A fleet-membership change, passed to
@@ -169,6 +211,47 @@ mod tests {
         assert!(events.iter().all(|e| e.time() == 5));
         // Already in canonical same-time order.
         assert!(events.windows(2).all(|w| w[0].tie_rank() < w[1].tie_rank()));
+    }
+
+    #[test]
+    fn routing_metadata_is_a_pure_function_of_the_payload() {
+        assert_eq!(
+            PlatformEvent::RequestArrived(req(1, 3)).routing(),
+            EventRouting::Origin(VertexId(0))
+        );
+        assert_eq!(
+            PlatformEvent::RequestCancelled {
+                at: 9,
+                request: RequestId(1)
+            }
+            .routing(),
+            EventRouting::Request(RequestId(1))
+        );
+        assert_eq!(
+            PlatformEvent::WorkerJoined {
+                at: 0,
+                worker: Worker {
+                    id: WorkerId(2),
+                    origin: VertexId(7),
+                    capacity: 4,
+                },
+            }
+            .routing(),
+            EventRouting::Origin(VertexId(7))
+        );
+        assert_eq!(
+            PlatformEvent::WorkerLeft {
+                at: 0,
+                worker: WorkerId(2),
+                reassign: ReassignPolicy::Drain,
+            }
+            .routing(),
+            EventRouting::Worker(WorkerId(2))
+        );
+        assert_eq!(
+            PlatformEvent::Tick { at: 1 }.routing(),
+            EventRouting::Broadcast
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod types;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::decision::{decision_phase, DecisionOutcome};
-    pub use crate::event::{PlatformEvent, ReassignPolicy, WorkerChange};
+    pub use crate::event::{EventRouting, PlatformEvent, ReassignPolicy, WorkerChange};
     pub use crate::exec::{AtomicMin, IndexFeed, WorkPool};
     pub use crate::insertion::{
         basic_insertion, linear_dp_insertion, linear_dp_insertion_with, naive_dp_insertion,
@@ -57,7 +57,9 @@ pub mod prelude {
     pub use crate::lower_bound::insertion_lower_bound;
     pub use crate::objective::{ObjectivePreset, UnifiedCost};
     pub use crate::planner::{GreedyDp, Planner, PlannerConfig, PruneGreedyDp};
-    pub use crate::platform::{CancelOutcome, FleetView, Outcome, PlatformState, WorkerAgent};
+    pub use crate::platform::{
+        CancelOutcome, FleetView, HandoffTicket, Outcome, PlatformState, WorkerAgent,
+    };
     pub use crate::route::{InsertionPlan, PlanShape, Route};
     pub use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
 }

@@ -217,8 +217,12 @@ fn probe_sequential(
 /// stops only on a *strict* `bound < LB`. So for every candidate left
 /// unprobed there was a moment when `final_best ≤ bound < LB ≤ Δ*` —
 /// strictly worse than the best probed candidate, with no possible tie.
-/// The probe set may be a superset of the sequential scan's (a stale
-/// bound delays stopping), which costs queries, never correctness.
+/// The probe set may *differ* from the sequential scan's in both
+/// directions — a stale bound delays stopping (extra probes), while a
+/// fast thread publishing a late candidate's `Δ` early can prune an
+/// early candidate the sequential scan would have probed (fewer
+/// probes). Either way it always contains every potential argmin, so
+/// the difference costs or saves queries, never correctness.
 ///
 /// # Panic safety
 ///

@@ -71,7 +71,14 @@ pub fn threads_from_env() -> usize {
 }
 
 /// An online route planner for shared mobility.
-pub trait Planner {
+///
+/// `Send` is a supertrait: the geo-sharded dispatch plane
+/// (`urpsm_dispatch`) moves each shard's boxed planner across scoped
+/// threads when it fans a broadcast event out over the shards. Every
+/// planner is plain data plus `Arc` handles, so the bound costs
+/// nothing in practice — it only rules out `Rc`/`RefCell`-style
+/// interior state that could not ride a shard thread anyway.
+pub trait Planner: Send {
     /// Human-readable algorithm name (used in experiment tables).
     fn name(&self) -> &'static str;
 

@@ -87,6 +87,25 @@ pub enum CancelOutcome {
     Unknown,
 }
 
+/// Everything the receiving side of a worker handoff needs: the
+/// worker's exact position and capacity at the moment it was exported
+/// from its source platform ([`PlatformState::export_worker`]).
+///
+/// A ticket deliberately carries no accounting — only *idle* workers
+/// can be exported, so the source platform keeps the worker's full
+/// driven/planned history (it all happened there) and the destination
+/// starts the worker from zero. Splitting a mid-route worker would
+/// force one leg's distance to be split across two ledgers; refusing
+/// to export such workers keeps both sides' `driven == planned`
+/// invariants exact by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffTicket {
+    /// Where the worker is parked (its next platform adds it here).
+    pub position: VertexId,
+    /// The worker's capacity `K_w`.
+    pub capacity: u32,
+}
+
 /// Per-request outcome reported by planners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -506,6 +525,30 @@ impl PlatformState {
         }
     }
 
+    /// Exports an **idle** worker for a cross-platform handoff: retires
+    /// it here (grid removal, no new work) and returns the
+    /// [`HandoffTicket`] the receiving platform turns back into a
+    /// worker via [`PlatformState::add_worker`] (under that platform's
+    /// own dense id).
+    ///
+    /// Returns `None` — and mutates nothing — unless the worker is
+    /// active with an empty route: a worker with committed stops must
+    /// finish them where they were promised (the invariability
+    /// constraint), and splitting its ledger would break the exact
+    /// driven/planned accounting on both sides.
+    pub fn export_worker(&mut self, w: WorkerId) -> Option<HandoffTicket> {
+        let agent = &self.agents[w.idx()];
+        if !agent.active || !agent.route.is_empty() {
+            return None;
+        }
+        let ticket = HandoffTicket {
+            position: agent.route.start_vertex(),
+            capacity: agent.worker.capacity,
+        };
+        self.retire_worker(w);
+        Some(ticket)
+    }
+
     /// Strips every not-yet-picked-up request from `w`'s route (the
     /// `Reassign` departure policy), rolling back their accounting as
     /// in [`PlatformState::cancel_request`] — but *without* marking
@@ -839,6 +882,49 @@ mod tests {
         assert_eq!(state.total_assigned_distance(), 0);
         // Not marked cancelled — the caller re-offers it.
         assert_eq!(state.cancelled_count(), 0);
+    }
+
+    #[test]
+    fn export_worker_only_hands_off_idle_workers() {
+        let oracle = line_oracle(100);
+        let ws = workers(2, 0, 4); // workers at 0 and 1
+        let mut state = PlatformState::new(oracle.clone(), &ws, 10.0, 0);
+        let r = request(1, 5, 10, 1_000_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r, &plan);
+
+        // Busy worker: refused, nothing changes.
+        assert_eq!(state.export_worker(WorkerId(0)), None);
+        assert!(state.agent(WorkerId(0)).active);
+
+        // Idle worker: exported with its exact position, then retired.
+        state.set_worker_position(WorkerId(1), VertexId(42), 100, None);
+        let ticket = state.export_worker(WorkerId(1)).expect("idle worker");
+        assert_eq!(
+            ticket,
+            HandoffTicket {
+                position: VertexId(42),
+                capacity: 4
+            }
+        );
+        assert!(!state.agent(WorkerId(1)).active);
+        let mut out = Vec::new();
+        let probe = request(9, 42, 44, 1_000_000);
+        state.candidate_workers(&probe, 200, &mut out);
+        assert!(!out.contains(&WorkerId(1)), "exported worker left the grid");
+        // Re-export: already retired, refused.
+        assert_eq!(state.export_worker(WorkerId(1)), None);
+
+        // The receiving platform re-creates the worker from the ticket.
+        let mut dest = PlatformState::new(oracle, &[], 10.0, 100);
+        dest.add_worker(Worker {
+            id: WorkerId(0),
+            origin: ticket.position,
+            capacity: ticket.capacity,
+        });
+        assert_eq!(dest.num_workers(), 1);
+        assert_eq!(dest.agent(WorkerId(0)).route.start_vertex(), VertexId(42));
     }
 
     #[test]

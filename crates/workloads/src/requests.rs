@@ -38,6 +38,17 @@ pub struct RequestStreamConfig {
     pub hotspot_sigma_m: f64,
     /// Fraction of uniform "background" demand mixed in.
     pub background: f64,
+    /// Fraction of trips that are *inter-region*: their destination is
+    /// drawn around a different hotspot than the one the origin belongs
+    /// to, instead of the local lognormal trip model (clamped to
+    /// `[0, 1]`; needs ≥ 2 hotspots to have any effect). This is what
+    /// makes demand actually cross geo-shard seams.
+    pub inter_hotspot: f64,
+    /// Multiplier on the rush-hour peak mass (default 1.0 keeps the
+    /// classic 25 % morning / 30 % evening split; larger values
+    /// concentrate arrivals into the peaks, capped so the peaks never
+    /// consume the whole day; 0.0 flattens the day to uniform).
+    pub rush_skew: f64,
 }
 
 impl Default for RequestStreamConfig {
@@ -50,6 +61,8 @@ impl Default for RequestStreamConfig {
             hotspots: 4,
             hotspot_sigma_m: 1_500.0,
             background: 0.2,
+            inter_hotspot: 0.0,
+            rush_skew: 1.0,
         }
     }
 }
@@ -61,12 +74,17 @@ pub struct RequestStreamGenerator<'a> {
     rng: StdRng,
     /// Per-vertex sampling weights as a cumulative table.
     cumulative: Vec<f64>,
+    /// Hotspot centers (index 0 is the city center) — kept for the
+    /// inter-region destination model.
+    centers: Vec<Point>,
 }
 
 impl<'a> RequestStreamGenerator<'a> {
     /// Builds the spatial sampling table for `network`.
-    pub fn new(network: &'a RoadNetwork, cfg: RequestStreamConfig, seed: u64) -> Self {
+    pub fn new(network: &'a RoadNetwork, mut cfg: RequestStreamConfig, seed: u64) -> Self {
         assert!(cfg.hotspots >= 1, "need at least one hotspot");
+        cfg.inter_hotspot = cfg.inter_hotspot.clamp(0.0, 1.0);
+        cfg.rush_skew = cfg.rush_skew.max(0.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let bbox = network.bounding_box();
         // Hotspot centers: city center plus seeded off-center spots.
@@ -100,6 +118,7 @@ impl<'a> RequestStreamGenerator<'a> {
             cfg,
             rng,
             cumulative,
+            centers,
         }
     }
 
@@ -113,14 +132,19 @@ impl<'a> RequestStreamGenerator<'a> {
 
     /// Samples an arrival time from the double-peak day profile:
     /// 25% morning peak (~08:30), 30% evening peak (~18:00), the rest
-    /// uniform, all scaled onto `[0, horizon)`.
+    /// uniform, all scaled onto `[0, horizon)`. `rush_skew` multiplies
+    /// both peak masses (capped so they never consume the whole day);
+    /// the default 1.0 reproduces the classic split draw for draw.
     fn sample_release(&mut self) -> Time {
         let h = self.cfg.horizon as f64;
+        let s = self.cfg.rush_skew.min(0.95 / 0.55);
+        let morning = 0.25 * s;
+        let evening = 0.30 * s;
         let u: f64 = self.rng.gen();
-        let frac = if u < 0.25 {
+        let frac = if u < morning {
             let g: f64 = self.sample_gauss(8.5 / 24.0, 0.06);
             g.clamp(0.0, 0.999)
-        } else if u < 0.55 {
+        } else if u < morning + evening {
             let g: f64 = self.sample_gauss(18.0 / 24.0, 0.08);
             g.clamp(0.0, 0.999)
         } else {
@@ -136,14 +160,52 @@ impl<'a> RequestStreamGenerator<'a> {
         mean + (s - 0.5) * sigma * 6.93 // matches the sum's std dev
     }
 
+    /// The hotspot whose center is nearest to `p` — the "region" a
+    /// point belongs to in the inter-region trip model.
+    fn region_of(&self, p: &Point) -> usize {
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, c) in self.centers.iter().enumerate() {
+            let d = c.euclidean_m(p);
+            if d < best.0 {
+                best = (d, i);
+            }
+        }
+        best.1
+    }
+
     /// Samples a destination for a trip starting at `origin`: a
     /// uniformly random direction with a lognormal trip length
     /// (median ≈ 2.4 km, like urban taxi trips), snapped to the
     /// nearest network vertex. Without this, OD pairs would span the
     /// whole city and almost nothing would be servable within the
     /// 5–25 minute deadlines of Table 5.
+    ///
+    /// With a non-zero `inter_hotspot` fraction, that share of trips
+    /// instead targets a *different* hotspot than the origin's own —
+    /// commuter-style cross-region demand that a geo-sharded dispatcher
+    /// must carry over its seams.
     fn sample_destination(&mut self, origin: VertexId) -> VertexId {
         let o = self.network.point(origin);
+        if self.cfg.inter_hotspot > 0.0
+            && self.centers.len() > 1
+            && self.rng.gen_bool(self.cfg.inter_hotspot)
+        {
+            let home = self.region_of(&o);
+            let mut pick = self.rng.gen_range(0..self.centers.len() - 1);
+            if pick >= home {
+                pick += 1;
+            }
+            let c = self.centers[pick];
+            let sigma = self.cfg.hotspot_sigma_m;
+            let target = Point::new(
+                c.x + self.sample_gauss(0.0, sigma),
+                c.y + self.sample_gauss(0.0, sigma),
+            );
+            return self
+                .network
+                .nearest_vertex(target)
+                .expect("network is non-empty");
+        }
         let dir = self.rng.gen_range(0.0..std::f64::consts::TAU);
         // Lognormal via the sum-of-uniforms normal approximation.
         let z = self.sample_gauss(0.0, 1.0);
@@ -324,6 +386,101 @@ mod tests {
         );
         // Long tail exists but is bounded.
         assert!(*lens.last().unwrap() <= 9_500.0);
+    }
+
+    /// Fraction of requests whose destination's nearest hotspot differs
+    /// from the origin's (the generator's own region notion).
+    fn cross_region_fraction(g: &RoadNetwork, gen: &RequestStreamGenerator, rs: &[Request]) -> f64 {
+        let crossing = rs
+            .iter()
+            .filter(|r| gen.region_of(&g.point(r.origin)) != gen.region_of(&g.point(r.destination)))
+            .count();
+        crossing as f64 / rs.len() as f64
+    }
+
+    #[test]
+    fn inter_region_trips_cross_hotspots() {
+        let g = grid_city(24, 24, 500.0, 3); // 11.5 km city
+        let oracle = MatrixOracle::from_network(&g);
+        let mk = |inter: f64| RequestStreamConfig {
+            count: 1_200,
+            hotspots: 4,
+            hotspot_sigma_m: 900.0,
+            background: 0.05,
+            inter_hotspot: inter,
+            ..Default::default()
+        };
+        let mut local_gen = RequestStreamGenerator::new(&g, mk(0.0), 5);
+        let local = local_gen.generate(&oracle);
+        let mut cross_gen = RequestStreamGenerator::new(&g, mk(0.6), 5);
+        let cross = cross_gen.generate(&oracle);
+
+        let f_local = cross_region_fraction(&g, &local_gen, &local);
+        let f_cross = cross_region_fraction(&g, &cross_gen, &cross);
+        assert!(
+            f_cross > f_local + 0.25,
+            "inter-region knob must move demand across regions: {f_local:.2} -> {f_cross:.2}"
+        );
+        // Cross-region trips may exceed the local lognormal cap.
+        let max_len = |rs: &[Request]| {
+            rs.iter()
+                .map(|r| g.point(r.origin).euclidean_m(&g.point(r.destination)))
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_len(&cross) >= max_len(&local));
+    }
+
+    #[test]
+    fn zero_inter_region_keeps_the_stream_byte_identical() {
+        // The knob at 0.0 must not consume randomness: default streams
+        // are unchanged for every existing seed.
+        let g = grid_city(12, 12, 400.0, 3);
+        let oracle = MatrixOracle::from_network(&g);
+        let explicit = RequestStreamConfig {
+            count: 300,
+            inter_hotspot: 0.0,
+            rush_skew: 1.0,
+            ..Default::default()
+        };
+        let plain = RequestStreamConfig {
+            count: 300,
+            ..Default::default()
+        };
+        let a = RequestStreamGenerator::new(&g, explicit, 11).generate(&oracle);
+        let b = RequestStreamGenerator::new(&g, plain, 11).generate(&oracle);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rush_skew_piles_demand_into_the_peaks() {
+        let g = grid_city(12, 12, 400.0, 3);
+        let oracle = MatrixOracle::from_network(&g);
+        let horizon = 24 * 60 * crate::MINUTE_CS;
+        let peak_mass = |skew: f64| {
+            let cfg = RequestStreamConfig {
+                count: 4_000,
+                rush_skew: skew,
+                ..Default::default()
+            };
+            let rs = RequestStreamGenerator::new(&g, cfg, 21).generate(&oracle);
+            // Hours 8 and 17–18 cover both peak centers.
+            rs.iter()
+                .filter(|r| {
+                    let hr = (r.release * 24 / horizon).min(23);
+                    hr == 8 || hr == 17 || hr == 18
+                })
+                .count() as f64
+                / rs.len() as f64
+        };
+        let flat = peak_mass(0.0);
+        let default = peak_mass(1.0);
+        let skewed = peak_mass(1.6);
+        assert!(
+            flat < default && default < skewed,
+            "peak mass must grow with skew: {flat:.2} / {default:.2} / {skewed:.2}"
+        );
+        // 0.0 flattens to roughly uniform (3 of 24 hour buckets).
+        assert!((flat - 3.0 / 24.0).abs() < 0.04, "flat day: {flat:.2}");
     }
 
     #[test]

@@ -119,6 +119,8 @@ pub struct ScenarioBuilder {
     deadline_offset: Time,
     penalty_factor: u64,
     hotspots: usize,
+    inter_region: f64,
+    rush_skew: f64,
     grid_cell_m: f64,
     alpha: u64,
     oracle_kind: OracleKind,
@@ -148,6 +150,8 @@ impl ScenarioBuilder {
             deadline_offset: 10 * MINUTE_CS,
             penalty_factor: 10,
             hotspots: 3,
+            inter_region: 0.0,
+            rush_skew: 1.0,
             grid_cell_m: 2_000.0,
             alpha: 1,
             oracle_kind: OracleKind::Auto,
@@ -237,6 +241,26 @@ impl ScenarioBuilder {
     /// Number of demand hotspots.
     pub fn hotspots(mut self, k: usize) -> Self {
         self.hotspots = k.max(1);
+        self
+    }
+
+    /// Fraction of trips whose destination targets a *different*
+    /// hotspot than the origin's own (clamped to `[0, 1]`; needs
+    /// [`ScenarioBuilder::hotspots`] ≥ 2 to matter). The knob that
+    /// makes demand actually cross geo-shard seams — at 0 (the
+    /// default), trips follow the local lognormal length model and
+    /// mostly stay within one region.
+    pub fn inter_region_trips(mut self, f: f64) -> Self {
+        self.inter_region = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Multiplier on the rush-hour peak mass (default 1.0 keeps the
+    /// classic 25 % morning / 30 % evening arrival split; larger values
+    /// pile demand into the peaks — the load shape that stresses a
+    /// sharded dispatcher hardest — and 0.0 flattens the day).
+    pub fn rush_hour_skew(mut self, s: f64) -> Self {
+        self.rush_skew = s.max(0.0);
         self
     }
 
@@ -334,6 +358,8 @@ impl ScenarioBuilder {
             deadline_offset: self.deadline_offset,
             penalty_factor: self.penalty_factor,
             hotspots: self.hotspots,
+            inter_hotspot: self.inter_region,
+            rush_skew: self.rush_skew,
             ..Default::default()
         };
         let mut gen = RequestStreamGenerator::new(&network, cfg, self.seed.wrapping_add(0xcafe));
@@ -554,6 +580,45 @@ mod tests {
         assert_eq!(plain.workers, churny.workers);
         assert!(plain.cancellations.is_empty());
         assert!(plain.fleet_events.is_empty());
+    }
+
+    #[test]
+    fn multi_region_knobs_shape_the_stream() {
+        let base = || {
+            ScenarioBuilder::named("t")
+                .grid_city(16, 16)
+                .workers(4)
+                .requests(600)
+                .hotspots(4)
+                .seed(9)
+        };
+        let plain = base().build();
+        let multi = base().inter_region_trips(0.5).rush_hour_skew(1.5).build();
+        // Same request count and ids, different spatial/temporal shape.
+        assert_eq!(plain.requests.len(), multi.requests.len());
+        assert_ne!(plain.requests, multi.requests);
+        let mean_len = |s: &Scenario| {
+            s.requests
+                .iter()
+                .map(|r| {
+                    s.network
+                        .point(r.origin)
+                        .euclidean_m(&s.network.point(r.destination))
+                })
+                .sum::<f64>()
+                / s.requests.len() as f64
+        };
+        assert!(
+            mean_len(&multi) > mean_len(&plain),
+            "inter-region trips must lengthen the mean OD pair: {:.0} vs {:.0}",
+            mean_len(&multi),
+            mean_len(&plain)
+        );
+        // Explicit defaults are the identity (the knobs ride the same
+        // seed streams).
+        let explicit = base().inter_region_trips(0.0).rush_hour_skew(1.0).build();
+        assert_eq!(plain.requests, explicit.requests);
+        assert_eq!(plain.workers, explicit.workers);
     }
 
     #[test]

@@ -19,9 +19,15 @@
 //!   event-driven platform facade, plus worker motion, metrics, and a
 //!   post-hoc feasibility auditor. The batch
 //!   [`simulator::engine::Simulation`] is a thin driver over it.
+//! - [`dispatch`] — the geo-sharded dispatch plane:
+//!   [`dispatch::service::ShardedService`] partitions the city into
+//!   `K` territories, each owning its own platform + planner, routes
+//!   every event to its home shard, and hands idle border workers
+//!   across seams under the `Borrow` boundary policy. One shard is
+//!   byte-identical to `MobilityService`.
 //! - [`workloads`] — synthetic city networks and request streams that
-//!   stand in for the NYC / Chengdu taxi datasets, with cancellation
-//!   and fleet-churn knobs.
+//!   stand in for the NYC / Chengdu taxi datasets, with cancellation,
+//!   fleet-churn and multi-region demand knobs.
 //!
 //! ## The streaming API
 //!
@@ -79,10 +85,12 @@
 pub use road_network as network;
 pub use urpsm_baselines as baselines;
 pub use urpsm_core as core;
+pub use urpsm_dispatch as dispatch;
 pub use urpsm_simulator as simulator;
 pub use urpsm_workloads as workloads;
 
 use urpsm_core::planner::Planner;
+use urpsm_dispatch::service::{ShardConfig, ShardedService};
 use urpsm_simulator::engine::{SimConfig, SimOutcome, Simulation};
 use urpsm_simulator::service::MobilityService;
 use urpsm_workloads::scenario::Scenario;
@@ -121,6 +129,51 @@ pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> Mobil
     )
 }
 
+/// Opens a geo-sharded [`ShardedService`] over a [`Scenario`]: the city
+/// is partitioned into `shards` territories (`0` = the `URPSM_SHARDS`
+/// environment default, which itself defaults to 1), each owning its
+/// own platform and a planner built by `planners(shard_id)`, with the
+/// default `Borrow` boundary policy handing idle border workers across
+/// seams. At one shard this is byte-identical to [`service`]'s plain
+/// `MobilityService` (pinned by `tests/shard_equivalence.rs`).
+pub fn sharded<'p, F>(scenario: &Scenario, shards: usize, planners: F) -> ShardedService<'p>
+where
+    F: FnMut(usize) -> Box<dyn Planner + 'p>,
+{
+    let start_time = [
+        scenario.requests.first().map(|r| r.release),
+        scenario.cancellations.first().map(|&(t, _)| t),
+        scenario
+            .fleet_events
+            .first()
+            .map(urpsm_core::event::PlatformEvent::time),
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+    .unwrap_or(0);
+    ShardedService::new(
+        scenario.oracle.clone(),
+        scenario.workers.clone(),
+        planners,
+        ShardConfig {
+            shards: if shards == 0 {
+                urpsm_dispatch::service::shards_from_env()
+            } else {
+                shards
+            },
+            sim: SimConfig {
+                grid_cell_m: scenario.grid_cell_m,
+                alpha: scenario.alpha,
+                drain: true,
+                threads: 0,
+            },
+            ..ShardConfig::default()
+        },
+        start_time,
+    )
+}
+
 /// Runs `planner` over a [`Scenario`]'s arrival-only request stream in
 /// one shot — the convenience wrapper over [`MobilityService`] for
 /// pre-recorded workloads. Cancellation / churn extras on the scenario
@@ -144,10 +197,11 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::{service, simulate};
+    pub use crate::{service, sharded, simulate};
     pub use road_network::prelude::*;
     pub use urpsm_baselines::prelude::*;
     pub use urpsm_core::prelude::*;
+    pub use urpsm_dispatch::prelude::*;
     pub use urpsm_simulator::prelude::*;
     pub use urpsm_workloads::prelude::*;
 }

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "objective_presets",
     "hardness_adversary",
     "live_service",
+    "sharded_city",
 ];
 
 #[test]

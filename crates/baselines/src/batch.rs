@@ -144,6 +144,14 @@ impl BatchPlanner {
                     if let Some(plan) =
                         linear_dp_insertion_with(&mut self.scratch, &route, capacity, m, &*oracle)
                     {
+                        // Under a congestion profile, a member only
+                        // joins the simulated route if the stretched
+                        // schedule stays feasible (DESIGN.md §7) —
+                        // the clone carries the provider, so later
+                        // members re-check the earlier ones too.
+                        if route.time_dependent() && !route.insertion_feasible(&plan, m, capacity) {
+                            continue;
+                        }
                         route.apply_insertion(&plan, m);
                         total_delta += plan.delta;
                         plans.push((*m, plan));

@@ -325,6 +325,13 @@ impl Planner for KineticPlanner {
             let route = agent.route.clone();
             let capacity = agent.worker.capacity;
             if let Some(eval) = self.evaluate_worker(&route, capacity, r, direct, &*oracle) {
+                // The branch-and-bound search times stops at free flow;
+                // under a congestion profile the re-ordered tail must
+                // also survive the stretched schedule (DESIGN.md §7).
+                if route.time_dependent() && !route.tail_feasible(&eval.stops, &eval.legs, capacity)
+                {
+                    continue;
+                }
                 let better = match &best {
                     None => true,
                     Some((bd, bw, _)) => (eval.delta, w) < (*bd, *bw),

@@ -135,6 +135,16 @@ impl Planner for TSharePlanner {
             let w = WorkerId(cand as u32);
             let agent = state.agent(w);
             if let Some(plan) = basic_insertion(&agent.route, agent.worker.capacity, r, &*oracle) {
+                // Free-flow plans are optimistic under a congestion
+                // profile: only stretched-feasible ones may compete
+                // (DESIGN.md §7).
+                if agent.route.time_dependent()
+                    && !agent
+                        .route
+                        .insertion_feasible(&plan, r, agent.worker.capacity)
+                {
+                    continue;
+                }
                 let better = match &best {
                     None => true,
                     Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),

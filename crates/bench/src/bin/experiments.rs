@@ -8,7 +8,9 @@
 //!
 //! Subcommands: `table4`, `table5`, `fig3` (workers), `fig4` (capacity),
 //! `fig5` (grid size + memory), `fig6` (deadline + saved queries),
-//! `fig7` (penalty), `queries`, `hardness`, `all`.
+//! `fig7` (penalty), `queries`, `hardness`, `congestion` (also
+//! spelled `--congestion`: rush-hour travel-time deltas under the
+//! two-peak profile), `all`.
 //! Options: `--city nyc|chengdu|both` (default both), `--scale N`
 //! (divides Table 5's stream/fleet sizes further; default 4),
 //! `--seed S`, `--parallel` (run sweep cells concurrently, capped at
@@ -73,7 +75,7 @@ impl Default for Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel] [--threads N] [--shards K]");
+        eprintln!("usage: experiments <table4|table5|fig3|fig4|fig5|fig6|fig7|queries|hardness|congestion|all> [--city nyc|chengdu|both] [--scale N] [--seed S] [--parallel] [--threads N] [--shards K]");
         std::process::exit(2);
     };
     let mut opts = Opts::default();
@@ -135,6 +137,9 @@ fn main() {
         "queries" => figures(&opts, &mut out, &["queries"]),
         "hardness" => hardness(&mut out),
         "ablation" => ablation(&opts, &mut out),
+        // `--congestion` is accepted as a command spelling so the
+        // knob reads like `--threads` / `--shards` on the CLI.
+        "congestion" | "--congestion" => congestion(&opts, &mut out),
         "all" => {
             table4(&opts, &mut out);
             table5_cmd(&mut out);
@@ -144,6 +149,7 @@ fn main() {
                 &["fig3", "fig4", "fig5", "fig6", "fig7", "queries"],
             );
             ablation(&opts, &mut out);
+            congestion(&opts, &mut out);
             hardness(&mut out);
         }
         other => {
@@ -630,6 +636,94 @@ fn queries_experiment(fx: &CityFixture, out: &mut impl Write) {
     t.render(out).expect("stdout");
 }
 
+// ───────────────────────── Congestion deltas ─────────────────────────
+
+/// Rush-hour supply: the same Chengdu-like stream shifted into the
+/// morning peak, replayed free-flow and under the two-peak congestion
+/// profile (DESIGN.md §7). The flat profile is asserted byte-identical
+/// to no profile first — the differential gate of
+/// `tests/congestion_equivalence.rs`, repeated here at experiment
+/// scale — and then every algorithm's quality/latency delta under the
+/// peak is tabulated.
+fn congestion(opts: &Opts, out: &mut impl Write) {
+    use road_network::congestion::{CongestionProfile, HOUR_CS};
+
+    eprintln!("congestion experiment (scale ÷{})…", opts.scale);
+    let fx = CityFixture::build(City::ChengduLike, opts.scale, opts.seed);
+    let mut cell = fx.default_cell();
+    // The fixture's stream starts at midnight, where the two-peak
+    // profile is free flow; shift it into 07:30–09:30 so it straddles
+    // the morning peak.
+    let shift = 7 * HOUR_CS + HOUR_CS / 2;
+    for r in &mut cell.requests {
+        r.release += shift;
+        r.deadline += shift;
+    }
+
+    // Gate: the flat profile must change nothing at all. The free-flow
+    // result is reused as pruneGreedyDP's table row below.
+    let mut gate_free = Some(run_cell(&cell, Algo::PruneGreedyDp));
+    let free = gate_free.as_ref().expect("just computed");
+    assert!(free.audit_errors.is_empty(), "{:?}", free.audit_errors);
+    cell.congestion = Some(Arc::new(CongestionProfile::flat()));
+    let flat = run_cell(&cell, Algo::PruneGreedyDp);
+    assert_eq!(
+        (flat.unified_cost, flat.served_rate),
+        (free.unified_cost, free.served_rate),
+        "flat profile diverged from the free-flow run"
+    );
+
+    let mut t = Table::new(
+        format!(
+            "Congestion — Chengdu-like ÷{}, 07:30 stream, chengdu-2peak vs free flow",
+            opts.scale
+        ),
+        &[
+            "algorithm",
+            "UC (free)",
+            "UC (peak)",
+            "served (free)",
+            "served (peak)",
+            "resp (free)",
+            "resp (peak)",
+        ],
+    );
+    for algo in Algo::ALL {
+        let free = if algo == Algo::PruneGreedyDp {
+            gate_free.take().expect("gate run consumed once")
+        } else {
+            cell.congestion = None;
+            run_cell(&cell, algo)
+        };
+        cell.congestion = Some(Arc::new(CongestionProfile::chengdu_two_peak()));
+        let peak = run_cell(&cell, algo);
+        assert!(
+            free.audit_errors.is_empty() && peak.audit_errors.is_empty(),
+            "{}: {:?} / {:?}",
+            algo.name(),
+            free.audit_errors,
+            peak.audit_errors
+        );
+        t.push(vec![
+            algo.name().to_string(),
+            human(free.unified_cost),
+            human(peak.unified_cost),
+            format!("{:.1}%", free.served_rate * 100.0),
+            format!("{:.1}%", peak.served_rate * 100.0),
+            format!("{:?}", round_dur(free.response_time)),
+            format!("{:?}", round_dur(peak.response_time)),
+        ]);
+    }
+    t.render(out).expect("stdout");
+    writeln!(
+        out,
+        "\nPeak-hour multipliers only *stretch schedules*: costs stay in free-flow\n\
+         distance units, so UC moves only through rejections (penalties) — the\n\
+         served-rate drop is the price of congestion under fixed deadlines."
+    )
+    .expect("stdout");
+}
+
 // ───────────────────────── Design ablations ─────────────────────────
 
 /// Ablations for the design choices DESIGN.md calls out: the
@@ -658,6 +752,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
                 alpha: cell.alpha,
                 drain: true,
                 threads: opts.threads,
+                congestion: None,
             },
         );
         let res = sim.run(planner);
@@ -800,6 +895,7 @@ fn hardness(out: &mut impl Write) {
                         alpha: inst.alpha,
                         drain: true,
                         threads: 0,
+                        congestion: None,
                     },
                 )
                 .expect("single-request stream is sorted");

@@ -128,6 +128,7 @@ impl CityFixture {
             alpha: self.sweep.alpha,
             threads: 0,
             shards: 0,
+            congestion: None,
         }
     }
 

@@ -97,6 +97,11 @@ pub struct Cell {
     /// path; `K ≥ 1` runs the cell through a `ShardedService` with `K`
     /// shards under the default `Borrow` boundary policy.
     pub shards: usize,
+    /// Congestion profile for the cell (`None` = free flow; the cell
+    /// constructors leave this unset, so the `URPSM_CONGESTION`
+    /// environment default does *not* leak into benches — bench cells
+    /// opt in explicitly for comparability).
+    pub congestion: Option<Arc<road_network::congestion::CongestionProfile>>,
 }
 
 /// One cell's measured outputs.
@@ -134,6 +139,7 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
             alpha: cell.alpha,
             drain: true,
             threads: cell.threads,
+            congestion: cell.congestion.clone(),
         },
     );
     let mut planner = algo.planner(cell.alpha, cell.grid_cell_m);
@@ -177,6 +183,7 @@ fn run_cell_sharded(
                 alpha: cell.alpha,
                 drain: true,
                 threads: 0,
+                congestion: cell.congestion.clone(),
             },
             ..ShardConfig::default()
         },

@@ -86,7 +86,7 @@ impl Default for BoundaryPolicy {
 }
 
 /// Configuration of the sharded dispatch plane.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardConfig {
     /// Number of geo-shards `K` (clamped to ≥ 1).
     pub shards: usize,
@@ -182,7 +182,12 @@ fn translate(to_global: &[WorkerId], ev: SimEvent) -> SimEvent {
         },
         SimEvent::Pickup { t, r, w } => SimEvent::Pickup { t, r, w: g(w) },
         SimEvent::Delivery { t, r, w } => SimEvent::Delivery { t, r, w: g(w) },
-        SimEvent::Unassigned { t, r, w } => SimEvent::Unassigned { t, r, w: g(w) },
+        SimEvent::Unassigned { t, r, w, freed } => SimEvent::Unassigned {
+            t,
+            r,
+            w: g(w),
+            freed,
+        },
         SimEvent::WorkerJoined { t, w } => SimEvent::WorkerJoined { t, w: g(w) },
         SimEvent::WorkerLeft { t, w } => SimEvent::WorkerLeft { t, w: g(w) },
         SimEvent::Rejected { .. } | SimEvent::Cancelled { .. } => ev,
@@ -271,7 +276,7 @@ impl<'p> ShardedService<'p> {
                     Arc::clone(&oracle),
                     fleet,
                     planners(s),
-                    config.sim,
+                    config.sim.clone(),
                     start_time,
                 ),
                 to_global,

@@ -31,6 +31,7 @@
 pub mod bidirectional;
 pub mod builder;
 pub mod cache;
+pub mod congestion;
 pub mod dijkstra;
 pub mod error;
 pub mod fxhash;
@@ -104,6 +105,7 @@ pub mod prelude {
     pub use crate::bidirectional::BidirDijkstra;
     pub use crate::builder::NetworkBuilder;
     pub use crate::cache::LruCachedOracle;
+    pub use crate::congestion::{congestion_from_env, CongestionProfile, TravelTimeProvider};
     pub use crate::dijkstra::DijkstraEngine;
     pub use crate::geo::Point;
     pub use crate::graph::{RoadClass, RoadNetwork};

@@ -29,7 +29,14 @@ struct RequestTrace {
 /// Checks: assignment/rejection exclusivity and completeness, pickup
 /// after release, delivery by deadline, pickup before delivery by the
 /// assigned worker, per-worker capacity over the event timeline, and
-/// (if `driven`/`planned` are provided) exact distance accounting.
+/// (if `driven`/`planned` are provided) exact distance accounting —
+/// both `driven == planned` per worker and the replayed ledger
+/// `planned == Σ assignment deltas − Σ freed` from the `Assigned` /
+/// `Cancelled` / `Unassigned` events. All three quantities are
+/// free-flow distances, so the ledger must balance exactly whether or
+/// not a congestion profile stretched the schedules (DESIGN.md §7);
+/// a cancel path that freed stretched — or stale — amounts cannot
+/// hide from it.
 ///
 /// Lifecycle events are first-class: a `Cancelled` request must never
 /// have been picked up and must see no further stops; an `Unassigned`
@@ -51,17 +58,23 @@ pub fn audit_events(
     // Per-worker ordered load timeline (events arrive in pop order,
     // which is the order the vehicle visits stops).
     let mut loads: Vec<u32> = vec![0; workers.len()];
+    // Per-worker planned-distance ledger replayed from the events:
+    // committed deltas in, freed amounts out.
+    let mut ledger: Vec<(Cost, Cost)> = vec![(0, 0); workers.len()];
     let by_id: FxHashMap<RequestId, &Request> = requests.iter().map(|r| (r.id, r)).collect();
 
     for ev in events {
         match *ev {
-            SimEvent::Assigned { t, r, w, .. } => {
+            SimEvent::Assigned { t, r, w, delta } => {
                 let tr = traces.entry(r).or_default();
                 if tr.assigned_to.is_some() || tr.rejected || tr.cancelled {
                     errors.push(format!("{r}: double decision"));
                 }
                 tr.assigned_to = Some(w);
                 tr.assigned_at = Some(t);
+                if let Some(l) = ledger.get_mut(w.idx()) {
+                    l.0 += delta;
+                }
             }
             SimEvent::Rejected { r, .. } => {
                 let tr = traces.entry(r).or_default();
@@ -70,7 +83,7 @@ pub fn audit_events(
                 }
                 tr.rejected = true;
             }
-            SimEvent::Cancelled { t, r } => {
+            SimEvent::Cancelled { t, r, freed } => {
                 let tr = traces.entry(r).or_default();
                 if tr.pickup.is_some() {
                     errors.push(format!("{r}: cancelled at t={t} after pickup"));
@@ -78,12 +91,25 @@ pub fn audit_events(
                 if tr.cancelled {
                     errors.push(format!("{r}: cancelled twice"));
                 }
+                match tr.assigned_to {
+                    Some(w) => {
+                        if let Some(l) = ledger.get_mut(w.idx()) {
+                            l.1 += freed;
+                        }
+                    }
+                    None if freed != 0 => {
+                        errors.push(format!(
+                            "{r}: cancelled at t={t} freed {freed} without assignment"
+                        ));
+                    }
+                    None => {}
+                }
                 tr.cancelled = true;
                 // The prior assignment (if any) is void.
                 tr.assigned_to = None;
                 tr.assigned_at = None;
             }
-            SimEvent::Unassigned { t, r, w } => {
+            SimEvent::Unassigned { t, r, w, freed } => {
                 let tr = traces.entry(r).or_default();
                 if tr.assigned_to != Some(w) {
                     errors.push(format!(
@@ -92,6 +118,9 @@ pub fn audit_events(
                 }
                 if tr.pickup.is_some() {
                     errors.push(format!("{r}: unassigned at t={t} after pickup"));
+                }
+                if let Some(l) = ledger.get_mut(w.idx()) {
+                    l.1 += freed;
                 }
                 // The decision is re-opened; a fresh one must follow.
                 tr.assigned_to = None;
@@ -177,6 +206,13 @@ pub fn audit_events(
         for (i, (d, p)) in driven.iter().zip(planned).enumerate() {
             if d != p {
                 errors.push(format!("w{i}: driven distance {d} != planned distance {p}"));
+            }
+            let (deltas, freed) = ledger[i];
+            let expected = deltas.saturating_sub(freed);
+            if *p != expected {
+                errors.push(format!(
+                    "w{i}: ledger mismatch: planned {p} != Σ deltas {deltas} − Σ freed {freed}"
+                ));
             }
         }
     }
@@ -326,6 +362,60 @@ mod tests {
     }
 
     #[test]
+    fn ledger_balances_deltas_against_freed() {
+        // Assigned 10 + 30, cancellation frees 25 (a real pooling
+        // cancel frees less than its own delta): planned must be 15.
+        let rs = [req(1, 0, 10_000), req(2, 0, 10_000)];
+        let ws = [worker(4)];
+        let evs = [
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(1),
+                w: WorkerId(0),
+                delta: 10,
+            },
+            SimEvent::Assigned {
+                t: 0,
+                r: RequestId(2),
+                w: WorkerId(0),
+                delta: 30,
+            },
+            SimEvent::Cancelled {
+                t: 50,
+                r: RequestId(2),
+                freed: 25,
+            },
+            SimEvent::Pickup {
+                t: 100,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+            SimEvent::Delivery {
+                t: 200,
+                r: RequestId(1),
+                w: WorkerId(0),
+            },
+        ];
+        assert!(audit_events(&rs, &ws, &evs, Some((&[15], &[15]))).is_empty());
+        // A freed amount the routes never returned breaks the ledger —
+        // this is what pins the cancel path under congestion: freed is
+        // a free-flow distance, never a stretched time.
+        let errs = audit_events(&rs, &ws, &evs, Some((&[20], &[20])));
+        assert!(
+            errs.iter().any(|e| e.contains("ledger mismatch")),
+            "{errs:?}"
+        );
+        // Freeing distance on a never-assigned request is flagged too.
+        let evs = [SimEvent::Cancelled {
+            t: 5,
+            r: RequestId(1),
+            freed: 7,
+        }];
+        let errs = audit_events(&rs, &ws, &evs, None);
+        assert!(errs.iter().any(|e| e.contains("without assignment")));
+    }
+
+    #[test]
     fn cancellation_lifecycle_is_clean() {
         let rs = [req(1, 0, 10_000)];
         let ws = [worker(4)];
@@ -339,6 +429,7 @@ mod tests {
             SimEvent::Cancelled {
                 t: 50,
                 r: RequestId(1),
+                freed: 10,
             },
         ];
         assert!(audit_events(&rs, &ws, &evs, None).is_empty());
@@ -363,6 +454,7 @@ mod tests {
             SimEvent::Cancelled {
                 t: 50,
                 r: RequestId(1),
+                freed: 10,
             },
             SimEvent::Delivery {
                 t: 70,
@@ -401,6 +493,7 @@ mod tests {
                 t: 5,
                 r: RequestId(1),
                 w: WorkerId(0),
+                freed: 10,
             },
             SimEvent::Assigned {
                 t: 5,
@@ -448,6 +541,7 @@ mod tests {
             t: 5,
             r: RequestId(1),
             w: WorkerId(0),
+            freed: 0,
         }];
         let errs = audit_events(&rs, &ws, &evs, None);
         assert!(errs.iter().any(|e| e.contains("without assignment")));

@@ -21,7 +21,7 @@ use crate::service::MobilityService;
 use crate::SimEvent;
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Grid cell size in meters for the platform's worker index
     /// (Table 5's `g`, which the paper quotes in km).
@@ -38,6 +38,13 @@ pub struct SimConfig {
     /// default — so replay determinism never depends on this struct.
     /// Any value produces identical outputs; only wall-clock changes.
     pub threads: usize,
+    /// Time-dependent travel times: the congestion profile installed
+    /// into the platform (DESIGN.md §7). `None` is free flow — the
+    /// pre-congestion code path, byte for byte — and the default reads
+    /// the `URPSM_CONGESTION` environment variable (mirroring
+    /// `URPSM_THREADS` / `URPSM_SHARDS`), so a whole test suite or CI
+    /// job can run congested without touching call sites.
+    pub congestion: Option<Arc<road_network::congestion::CongestionProfile>>,
 }
 
 impl Default for SimConfig {
@@ -47,6 +54,7 @@ impl Default for SimConfig {
             alpha: 1,
             drain: true,
             threads: 0,
+            congestion: road_network::congestion::congestion_from_env(),
         }
     }
 }
@@ -158,7 +166,7 @@ impl Simulation {
             Arc::clone(&self.oracle),
             self.workers.clone(),
             Box::new(planner),
-            self.config,
+            self.config.clone(),
             start_time,
         );
         for r in &self.requests {

@@ -87,6 +87,11 @@ pub enum SimEvent {
         t: urpsm_core::types::Time,
         /// The request.
         r: urpsm_core::types::RequestId,
+        /// Planned free-flow distance returned to the pool by the route
+        /// surgery (`0` when the request was still buffered in a batch
+        /// epoch and no route ever saw it). The audit replays the
+        /// per-worker ledger `planned = Σ deltas − Σ freed` from this.
+        freed: road_network::Cost,
     },
     /// Request `r` was stripped from departing worker `w`'s route (the
     /// `Reassign` policy); a fresh assignment/rejection decision for
@@ -98,6 +103,9 @@ pub enum SimEvent {
         r: urpsm_core::types::RequestId,
         /// The departing worker it was stripped from.
         w: urpsm_core::types::WorkerId,
+        /// Planned free-flow distance the strip freed (same ledger role
+        /// as `Cancelled::freed`).
+        freed: road_network::Cost,
     },
     /// Worker `w` joined the fleet.
     WorkerJoined {

@@ -10,23 +10,46 @@
 //! Each worker caches its expanded current leg; the cache is keyed on
 //! `(l_0, l_1, arr[1])` so any committed insertion that changes the
 //! first leg transparently forces a re-expansion.
+//!
+//! # Distance vs. time
+//!
+//! `driven` is accounted in **free-flow distance** units (the unit of
+//! every planned/freed quantity), not wall-clock: each path entry
+//! carries its cumulative free-flow offset along the leg, and snaps
+//! credit offset deltas. Without a congestion profile the two
+//! coincide; with one, wall-clock stretches while the ledger
+//! `driven == Σ planned` stays exact — the audit pins it.
+//!
+//! # Disconnected legs
+//!
+//! When the oracle has no path for a leg (`shortest_path` → `None` —
+//! possible for bridge legs spliced by a cancellation on a directed or
+//! partitioned graph), the leg is synthesized as a single hop timed by
+//! the route's own schedule — never by re-querying `dis`, whose `INF`
+//! answer used to fabricate an expansion that violated the
+//! "expanded path time equals leg travel time" invariant and corrupted
+//! the driven ledger. A leg whose scheduled arrival is `INF` is
+//! undrivable: the worker holds its position (and its clean ledger)
+//! and the audit surfaces the stranded assignment.
 
+use road_network::congestion::TravelTimeProvider;
 use road_network::oracle::DistanceOracle;
-use road_network::{Cost, VertexId};
+use road_network::{cost_add, Cost, VertexId, INF};
 use urpsm_core::platform::PlatformState;
 use urpsm_core::types::{Time, WorkerId};
 
 /// Cached expansion of one worker's current leg.
 #[derive(Debug, Default, Clone)]
 pub struct WorkerMotion {
-    /// `(vertex, arrival time)` along the current leg, inclusive of
-    /// both endpoints. Empty = nothing cached.
-    path: Vec<(VertexId, Time)>,
+    /// `(vertex, arrival time, cumulative free-flow offset)` along the
+    /// current leg, inclusive of both endpoints. Empty = nothing
+    /// cached.
+    path: Vec<(VertexId, Time, Cost)>,
     /// Index of the last position the worker was snapped to.
     cursor: usize,
     /// Cache key: `(l_0 at expansion, l_1, arr[1])`.
     key: (VertexId, VertexId, Time),
-    /// Total driven travel time (= distance) so far.
+    /// Total driven free-flow distance so far.
     pub driven: Cost,
 }
 
@@ -49,22 +72,45 @@ impl WorkerMotion {
         self.key = key;
         let (from, to) = (route.vertex(0), route.vertex(1));
         let t0 = route.start_time();
-        let verts = oracle
-            .shortest_path(from, to)
-            .unwrap_or_else(|| vec![from, to]);
-        let mut t = t0;
-        self.path.reserve(verts.len());
-        self.path.push((verts[0], t0));
-        for pair in verts.windows(2) {
-            t += oracle.dis(pair[0], pair[1]);
-            self.path.push((pair[1], t));
+        let leg_base = route.leg(1);
+        let congestion: Option<&dyn TravelTimeProvider> =
+            route.congestion().map(|p| p.as_ref() as _);
+        // Vertex time at cumulative free-flow offset `b`, integrated
+        // from the leg start — the same function `Route::rebuild` used
+        // for arr[1], so the endpoints agree by construction.
+        let at_offset = |b: Cost| match congestion {
+            None => cost_add(t0, b),
+            Some(p) => cost_add(t0, p.leg_time(from, b, t0)),
+        };
+        self.path.push((from, t0, 0));
+        match oracle.shortest_path(from, to) {
+            Some(verts) if verts.len() >= 2 && verts[0] == from => {
+                self.path.reserve(verts.len() - 1);
+                let mut b: Cost = 0;
+                for pair in verts.windows(2) {
+                    b = cost_add(b, oracle.dis(pair[0], pair[1]));
+                    self.path.push((pair[1], at_offset(b), b));
+                }
+            }
+            _ => {
+                // No concrete path: synthesize the leg as one hop using
+                // the schedule's own base cost and arrival.
+                self.path.push((to, route.arr(1), leg_base));
+            }
         }
-        // Path timing must agree with the schedule's leg (both are
-        // shortest travel times between l_0 and l_1).
+        // Path timing must agree with the schedule's leg (both are the
+        // same integration of the same free-flow cost). A frozen head
+        // (`Route::snap_on_leg`) never reaches this point: a snap
+        // re-keys the cache instead of re-expanding.
         debug_assert_eq!(
             self.path.last().expect("non-empty").1,
             route.arr(1),
             "expanded path time must equal leg travel time"
+        );
+        debug_assert_eq!(
+            self.path.last().expect("non-empty").2,
+            leg_base,
+            "expanded path length must equal the leg's base cost"
         );
     }
 
@@ -89,10 +135,20 @@ impl WorkerMotion {
                 return;
             }
             let arr1 = route.arr(1);
+            if arr1 >= INF {
+                // Undrivable leg (disconnected bridge): hold position
+                // rather than teleporting to an unreachable vertex at
+                // time INF and poisoning the driven ledger. The audit
+                // reports the stranded assignment.
+                return;
+            }
             if arr1 <= t {
-                let prev_time = route.start_time();
+                // The whole remaining head leg gets driven: its base
+                // cost (after any snap, `leg[1]` is exactly the
+                // remainder).
+                let leg_remaining = route.leg(1);
                 let (stop, at) = state.pop_worker_stop(w);
-                self.driven += at - prev_time;
+                self.driven += leg_remaining;
                 self.invalidate();
                 on_stop(stop, at);
                 continue;
@@ -108,11 +164,10 @@ impl WorkerMotion {
             }
             debug_assert!(k < self.path.len());
             if k != self.cursor {
-                let (v, at) = self.path[k];
-                let prev_time = state.agent(w).route.start_time();
-                let first_leg = arr1 - at;
-                state.set_worker_position(w, v, at, Some(first_leg));
-                self.driven += at - prev_time;
+                let (v, at, offset) = self.path[k];
+                let total_base = self.path.last().expect("non-empty").2;
+                self.driven += offset - self.path[self.cursor].2;
+                state.snap_worker_on_leg(w, v, at, total_base - offset);
                 self.cursor = k;
                 // Re-key so the position update doesn't look stale.
                 self.key = (v, self.key.1, self.key.2);
@@ -248,5 +303,140 @@ mod tests {
         assert!(route.is_empty());
         assert_eq!(route.start_time(), 777);
         assert_eq!(motion.driven, 0);
+    }
+
+    /// An oracle that answers distances but never produces a concrete
+    /// path — the shape of the `shortest_path → None` regression.
+    struct Pathless(Arc<MatrixOracle>);
+
+    impl DistanceOracle for Pathless {
+        fn num_vertices(&self) -> usize {
+            self.0.num_vertices()
+        }
+        fn point(&self, v: VertexId) -> road_network::geo::Point {
+            self.0.point(v)
+        }
+        fn top_speed_mps(&self) -> f64 {
+            self.0.top_speed_mps()
+        }
+        fn dis(&self, u: VertexId, v: VertexId) -> Cost {
+            self.0.dis(u, v)
+        }
+        fn shortest_path(&self, _u: VertexId, _v: VertexId) -> Option<Vec<VertexId>> {
+            None
+        }
+    }
+
+    #[test]
+    fn pathless_legs_are_synthesized_from_the_schedule() {
+        // Regression (PR 5): the old fallback re-queried `dis` to time
+        // a fabricated two-vertex path; the leg must instead be timed
+        // by the route's own schedule so the expansion invariant and
+        // the driven ledger hold exactly.
+        let oracle = Pathless(line_oracle(30));
+        let ws = vec![Worker {
+            id: WorkerId(0),
+            origin: VertexId(0),
+            capacity: 4,
+        }];
+        let mut state = PlatformState::new(line_oracle(30), &ws, 5.0, 0);
+        assign(&mut state, 1, 5, 10);
+        let mut motion = WorkerMotion::default();
+        let mut stops = Vec::new();
+        // Mid-leg with no path: the only known position ahead is the
+        // stop itself, reached at its scheduled arrival.
+        motion.advance(&mut state, WorkerId(0), 250, &oracle, |s, t| {
+            stops.push((s, t));
+        });
+        let route = &state.agent(WorkerId(0)).route;
+        assert_eq!(route.vertex(0), VertexId(5));
+        assert_eq!(route.start_time(), 500);
+        assert_eq!(route.arr(1), 500, "pickup arrival unchanged");
+        motion.advance(&mut state, WorkerId(0), 10_000, &oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert_eq!(stops.len(), 2);
+        assert_eq!(stops[1].1, 1_000);
+        assert_eq!(motion.driven, 1_000, "driven ledger stays exact");
+        assert_eq!(state.total_assigned_distance(), 1_000);
+    }
+
+    #[test]
+    fn undrivable_inf_leg_holds_position_and_ledger() {
+        // Regression (PR 5): a leg the oracle cannot connect (INF) used
+        // to teleport the worker to the unreachable vertex at time INF
+        // and add INF to `driven`. The worker must hold instead.
+        use urpsm_core::types::Stop;
+        let (mut state, oracle) = setup();
+        let r = Request {
+            id: RequestId(1),
+            origin: VertexId(4),
+            destination: VertexId(6),
+            release: 0,
+            deadline: road_network::INF,
+            penalty: 1,
+            capacity: 1,
+        };
+        let stops = vec![
+            Stop {
+                request: r.id,
+                vertex: r.origin,
+                kind: StopKind::Pickup,
+                load: 1,
+                ddl: road_network::INF,
+            },
+            Stop {
+                request: r.id,
+                vertex: r.destination,
+                kind: StopKind::Delivery,
+                load: 1,
+                ddl: road_network::INF,
+            },
+        ];
+        state.commit_reordered(
+            WorkerId(0),
+            &r,
+            stops,
+            vec![road_network::INF, 200],
+            road_network::INF + 200,
+        );
+        assert!(state.agent(WorkerId(0)).route.arr(1) >= road_network::INF);
+        let mut motion = WorkerMotion::default();
+        motion.advance(&mut state, WorkerId(0), 5_000, &*oracle, |_, _| {
+            panic!("no stop is reachable");
+        });
+        let route = &state.agent(WorkerId(0)).route;
+        assert_eq!(route.vertex(0), VertexId(0), "worker must hold position");
+        assert_eq!(route.start_time(), 0);
+        assert_eq!(motion.driven, 0, "no INF may leak into the ledger");
+    }
+
+    #[test]
+    fn congested_expansion_matches_the_stretched_schedule() {
+        use road_network::congestion::CongestionProfile;
+        let (mut state, oracle) = setup();
+        state.set_congestion(Some(Arc::new(
+            CongestionProfile::constant("x1.5", 1.5).unwrap(),
+        )));
+        assign(&mut state, 1, 5, 10);
+        assert_eq!(state.agent(WorkerId(0)).route.arr(1), 750);
+        let mut motion = WorkerMotion::default();
+        let mut stops = Vec::new();
+        // t=400: vertex k is reached at 150·k — snap to vertex 3 (450).
+        motion.advance(&mut state, WorkerId(0), 400, &*oracle, |_, _| {});
+        let route = &state.agent(WorkerId(0)).route;
+        assert_eq!(route.vertex(0), VertexId(3));
+        assert_eq!(route.start_time(), 450);
+        assert_eq!(route.arr(1), 750, "snap must not move the schedule");
+        assert_eq!(motion.driven, 300, "driven is base distance, not time");
+
+        motion.advance(&mut state, WorkerId(0), 10_000, &*oracle, |s, t| {
+            stops.push((s, t));
+        });
+        assert_eq!(stops.len(), 2);
+        assert_eq!(stops[0].1, 750); // pickup, stretched
+        assert_eq!(stops[1].1, 1_500); // delivery, stretched
+        assert_eq!(motion.driven, 1_000, "ledger in free-flow units");
+        assert_eq!(state.total_assigned_distance(), 1_000);
     }
 }

@@ -86,12 +86,15 @@ impl<'p> MobilityService<'p> {
         if config.threads > 0 {
             planner.set_threads(config.threads);
         }
-        let state = PlatformState::new(
+        let mut state = PlatformState::new(
             Arc::clone(&oracle),
             &workers,
             config.grid_cell_m,
             start_time,
         );
+        if let Some(profile) = &config.congestion {
+            state.set_congestion(Some(profile.clone()));
+        }
         let motions = vec![WorkerMotion::default(); workers.len()];
         MobilityService {
             state,
@@ -376,14 +379,23 @@ impl<'p> MobilityService<'p> {
         if absorbed {
             self.state.note_cancelled(request);
             self.cancelled += 1;
-            self.events.push(SimEvent::Cancelled { t, r: request });
+            // Still buffered: no route ever saw it, nothing was freed.
+            self.events.push(SimEvent::Cancelled {
+                t,
+                r: request,
+                freed: 0,
+            });
             return;
         }
-        if let CancelOutcome::Cancelled { .. } = self.state.cancel_request(request) {
+        if let CancelOutcome::Cancelled { freed, .. } = self.state.cancel_request(request) {
             // The assignment is void: roll the served tally back.
             self.served -= 1;
             self.cancelled += 1;
-            self.events.push(SimEvent::Cancelled { t, r: request });
+            self.events.push(SimEvent::Cancelled {
+                t,
+                r: request,
+                freed,
+            });
         }
     }
 
@@ -400,12 +412,13 @@ impl<'p> MobilityService<'p> {
             ReassignPolicy::Drain => Vec::new(),
             ReassignPolicy::Reassign => self.state.strip_unpicked(worker),
         };
-        for &rid in &stripped {
+        for &(rid, freed) in &stripped {
             self.served -= 1;
             self.events.push(SimEvent::Unassigned {
                 t,
                 r: rid,
                 w: worker,
+                freed,
             });
         }
         self.events.push(SimEvent::WorkerLeft { t, w: worker });
@@ -418,7 +431,7 @@ impl<'p> MobilityService<'p> {
             },
         );
         self.planning_time += t0.elapsed();
-        for rid in stripped {
+        for (rid, _) in stripped {
             let r = self.registry[&rid];
             let t0 = Instant::now();
             let outs = self.planner.on_request(&mut self.state, &r);

@@ -15,6 +15,17 @@
 //! widen the candidate set) and every candidate value underestimates the
 //! true `Δ_{i,j}`, so the returned value is a valid lower bound of `Δ*`;
 //! the property test `lb_never_exceeds_true_delta` pins this invariant.
+//!
+//! **Under a congestion profile** nothing here changes, and the bound
+//! stays admissible (DESIGN.md §7): `Δ*` and every detour term are
+//! free-flow *distances*, the unit the unified objective is measured
+//! in, so `euc ≤ dis` still underestimates them. The deadline checks
+//! mix stretched arrivals (`route.arr`, already time-dependent) with
+//! free-flow detours — with every multiplier `≥ 1` that only
+//! *underestimates* true stretched arrivals, i.e. it relaxes the
+//! filter further and can never drop a feasible candidate. The exact
+//! stretched-schedule test happens once per surviving plan, at the
+//! planner's commit gate (`Route::insertion_feasible`).
 
 use road_network::oracle::DistanceOracle;
 use road_network::{cost_add, cost_add3, Cost, INF};

@@ -188,6 +188,17 @@ fn probe_sequential(
         if let Some(plan) =
             linear_dp_insertion_with(scratch, &agent.route, agent.worker.capacity, r, oracle)
         {
+            // Free-flow plans are optimistic under a congestion
+            // profile: re-check the stretched schedule before letting
+            // the candidate compete (DESIGN.md §7). Free-flow and
+            // flat-profile runs skip this branch entirely.
+            if agent.route.time_dependent()
+                && !agent
+                    .route
+                    .insertion_feasible(&plan, r, agent.worker.capacity)
+            {
+                continue;
+            }
             let better = match &best {
                 None => true,
                 Some((bd, bw, _)) => (plan.delta, w) < (*bd, *bw),
@@ -335,6 +346,19 @@ fn plan_fused_parallel(
                     r,
                     oracle,
                 ) {
+                    // Same congestion gate as the sequential probe —
+                    // only *feasible* deltas may enter the shared
+                    // bound, otherwise an infeasible candidate could
+                    // prune the true winner. The §5 width-invariance
+                    // argument goes through verbatim with "Δ" read as
+                    // "feasible Δ" (DESIGN.md §7).
+                    if agent.route.time_dependent()
+                        && !agent
+                            .route
+                            .insertion_feasible(&plan, r, agent.worker.capacity)
+                    {
+                        continue;
+                    }
                     if prune {
                         bound.observe(plan.delta);
                     }
@@ -660,6 +684,33 @@ mod tests {
         });
         let out = strict.on_request(&mut state, &r);
         assert_eq!(out[0].1, Outcome::Rejected);
+    }
+
+    #[test]
+    fn congestion_gate_rejects_stretched_infeasible_plans() {
+        use road_network::congestion::CongestionProfile;
+        let oracle = line_counting_oracle(100);
+        for threads in [1usize, 4] {
+            let mut state = fresh_state(oracle.clone(), &[0]);
+            state.set_congestion(Some(Arc::new(
+                CongestionProfile::constant("x2", 2.0).unwrap(),
+            )));
+            let mut planner = PruneGreedyDp::with_threads(threads);
+            // Free-flow delivery at 10·150 + 10·150 = 3000 ≤ 4000, but
+            // the 2× profile pushes it to 6000: the gate must reject
+            // instead of committing a deadline-violating route.
+            let r = request(1, 10, 20, 4_000, u64::MAX / 4);
+            let out = planner.on_request(&mut state, &r);
+            assert_eq!(out[0].1, Outcome::Rejected, "threads={threads}");
+            // With deadline room the same request is served, and the
+            // reported Δ stays in free-flow units.
+            let r = request(2, 10, 20, 20_000, u64::MAX / 4);
+            let out = planner.on_request(&mut state, &r);
+            match out[0].1 {
+                Outcome::Assigned { delta, .. } => assert_eq!(delta, 3_000, "threads={threads}"),
+                Outcome::Rejected => panic!("feasible congested request rejected"),
+            }
+        }
     }
 
     #[test]

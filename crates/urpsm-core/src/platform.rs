@@ -28,6 +28,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
+use road_network::congestion::TravelTimeProvider;
 use road_network::fxhash::{FxHashMap, FxHashSet};
 use road_network::grid::{GridIndex, SortedCellGrid};
 use road_network::oracle::DistanceOracle;
@@ -138,6 +139,9 @@ pub struct PlatformState {
     completed: FxHashSet<RequestId>,
     /// Requests successfully cancelled after assignment.
     cancelled: Vec<RequestId>,
+    /// Departure-time-aware travel times, installed into every route
+    /// (present and future); `None` = free flow.
+    congestion: Option<Arc<dyn TravelTimeProvider>>,
 }
 
 thread_local! {
@@ -188,7 +192,27 @@ impl PlatformState {
             assignment: FxHashMap::default(),
             completed: FxHashSet::default(),
             cancelled: Vec::new(),
+            congestion: None,
         }
+    }
+
+    /// Installs (or removes) a congestion profile: every worker's
+    /// schedule is rebuilt under the provider, and workers joining
+    /// later inherit it. Legs, planned distances and the unified cost
+    /// all stay in free-flow units — only arrival times stretch (see
+    /// [`crate::route::Route`] and DESIGN.md §7). Installing `None` or
+    /// a flat profile reproduces the free-flow schedules exactly.
+    pub fn set_congestion(&mut self, provider: Option<Arc<dyn TravelTimeProvider>>) {
+        for agent in &mut self.agents {
+            agent.route.set_congestion(provider.clone());
+        }
+        self.congestion = provider;
+    }
+
+    /// The installed congestion profile, if any.
+    #[inline]
+    pub fn congestion(&self) -> Option<&Arc<dyn TravelTimeProvider>> {
+        self.congestion.as_ref()
     }
 
     /// Builds the T-Share sorted-cell index with cell size `cell_m`
@@ -422,6 +446,29 @@ impl PlatformState {
         }
     }
 
+    /// Snaps a mid-leg worker onto vertex `v` of its current first leg,
+    /// reached at `time`, with `remaining_base` free-flow cost left to
+    /// `l_1` ([`crate::route::Route::snap_on_leg`]: the head arrival is
+    /// frozen so a snap never moves the schedule). The grid position
+    /// follows, exactly as in [`PlatformState::set_worker_position`].
+    pub fn snap_worker_on_leg(
+        &mut self,
+        w: WorkerId,
+        v: VertexId,
+        time: Time,
+        remaining_base: Cost,
+    ) {
+        let agent = &mut self.agents[w.idx()];
+        agent.route.snap_on_leg(v, time, remaining_base);
+        if agent.active {
+            let p = self.oracle.point(v);
+            self.grid.upsert(u64::from(w.0), p);
+            if let Some(sg) = self.sorted_grid.as_mut() {
+                sg.grid_mut().upsert(u64::from(w.0), p);
+            }
+        }
+    }
+
     /// Re-times an idle worker to `time` without moving it.
     pub fn retime_idle_worker(&mut self, w: WorkerId, time: Time) {
         debug_assert!(self.agents[w.idx()].route.is_empty());
@@ -501,9 +548,13 @@ impl PlatformState {
         if let Some(sg) = self.sorted_grid.as_mut() {
             sg.grid_mut().upsert(u64::from(w.id.0), p);
         }
+        let mut route = Route::new(w.origin, self.now);
+        if self.congestion.is_some() {
+            route.set_congestion(self.congestion.clone());
+        }
         self.agents.push(WorkerAgent {
             worker: w,
-            route: Route::new(w.origin, self.now),
+            route,
             assigned_distance: 0,
             assigned_requests: Vec::new(),
             active: true,
@@ -555,24 +606,31 @@ impl PlatformState {
     /// them cancelled: the caller re-offers them through the planner.
     /// Onboard riders stay (they must still be delivered).
     ///
-    /// Returns the stripped request ids in route order.
-    pub fn strip_unpicked(&mut self, w: WorkerId) -> Vec<RequestId> {
-        let mut stripped: Vec<RequestId> = Vec::new();
+    /// Returns the stripped request ids in route order, each with the
+    /// planned free-flow distance the strip freed — the same quantity
+    /// [`CancelOutcome::Cancelled`] reports, so the audit can replay
+    /// the ledger `planned = Σ deltas − Σ freed` exactly, congested or
+    /// not. Bridge legs are re-queried at free-flow cost and the
+    /// schedule is rebuilt under the installed congestion profile, so
+    /// departure-time-aware arrivals stay correct after the surgery.
+    pub fn strip_unpicked(&mut self, w: WorkerId) -> Vec<(RequestId, Cost)> {
+        let mut stripped: Vec<(RequestId, Cost)> = Vec::new();
         for s in self.agents[w.idx()].route.stops() {
-            if s.kind == StopKind::Pickup && !stripped.contains(&s.request) {
-                stripped.push(s.request);
+            if s.kind == StopKind::Pickup && !stripped.iter().any(|&(r, _)| r == s.request) {
+                stripped.push((s.request, 0));
             }
         }
         let oracle = Arc::clone(&self.oracle);
-        for &rid in &stripped {
+        for (rid, freed_out) in &mut stripped {
             let agent = &mut self.agents[w.idx()];
             let freed = agent
                 .route
-                .remove_request(rid, |a, b| oracle.dis(a, b))
+                .remove_request(*rid, |a, b| oracle.dis(a, b))
                 .expect("pickup pending by construction");
             agent.assigned_distance = agent.assigned_distance.saturating_sub(freed);
-            self.assignment.remove(&rid);
+            self.assignment.remove(rid);
             self.served -= 1;
+            *freed_out = freed;
         }
         debug_assert_eq!(
             self.agents[w.idx()]
@@ -874,9 +932,10 @@ mod tests {
         assert_eq!(out, vec![WorkerId(1)]);
         assert!(!state.agent(WorkerId(0)).active);
 
-        // Stripping hands the un-picked request back.
+        // Stripping hands the un-picked request back, reporting the
+        // freed planned distance (the full 0→5→10 plan here).
         let stripped = state.strip_unpicked(WorkerId(0));
-        assert_eq!(stripped, vec![RequestId(1)]);
+        assert_eq!(stripped, vec![(RequestId(1), 1_000)]);
         assert!(state.agent(WorkerId(0)).route.is_empty());
         assert_eq!(state.served_count(), 0);
         assert_eq!(state.total_assigned_distance(), 0);
@@ -985,6 +1044,43 @@ mod tests {
         }
         assert_eq!(view.num_workers(), 3);
         assert_eq!(view.agent(WorkerId(1)).worker.id, WorkerId(1));
+    }
+
+    #[test]
+    fn congestion_installs_into_present_and_future_routes() {
+        use road_network::congestion::CongestionProfile;
+        let oracle = line_oracle(30);
+        let ws = workers(1, 0, 4);
+        let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
+        let r = request(1, 5, 10, 100_000);
+        let plan =
+            linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r, state.oracle()).unwrap();
+        state.commit(WorkerId(0), &r, &plan);
+        assert_eq!(state.agent(WorkerId(0)).route.arr(2), 1_000);
+
+        let profile: Arc<dyn road_network::congestion::TravelTimeProvider> =
+            Arc::new(CongestionProfile::constant("x2", 2.0).unwrap());
+        state.set_congestion(Some(profile));
+        // Existing schedule re-stretched; economics unchanged.
+        assert_eq!(state.agent(WorkerId(0)).route.arr(2), 2_000);
+        assert_eq!(state.total_assigned_distance(), 1_000);
+        assert!(state.agent(WorkerId(0)).route.time_dependent());
+        // Joiners inherit the profile.
+        state.add_worker(Worker {
+            id: WorkerId(1),
+            origin: VertexId(20),
+            capacity: 2,
+        });
+        assert!(state.agent(WorkerId(1)).route.congestion().is_some());
+
+        // A mid-leg snap keeps the schedule and moves the grid entry.
+        state.snap_worker_on_leg(WorkerId(0), VertexId(2), 400, 300);
+        assert_eq!(state.agent(WorkerId(0)).route.arr(1), 1_000);
+        assert_eq!(state.agent(WorkerId(0)).route.leg(1), 300);
+        let mut out = Vec::new();
+        let probe = request(9, 2, 4, 1_000_000);
+        state.candidate_workers(&probe, 200, &mut out);
+        assert!(out.contains(&WorkerId(0)));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! [`InsertionPlan`] is applied with [`Route::apply_insertion`], which
 //! splices the two stops and rebuilds the arrays in `O(n)`.
 
+use std::sync::Arc;
+
+use road_network::congestion::TravelTimeProvider;
 use road_network::{cost_add, Cost, VertexId, INF};
 
 use crate::types::{Request, RequestId, Stop, StopKind, Time};
@@ -71,7 +74,29 @@ pub struct InsertionPlan {
 }
 
 /// A worker's route plus its schedule arrays.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Time-dependent travel times
+///
+/// `leg[k]` always stores the **free-flow** cost `dis(l_{k-1}, l_k)` —
+/// the unit every economic quantity (planned / driven / freed distance,
+/// `Δ*`, the unified objective) is measured in. When a
+/// [`TravelTimeProvider`] is installed ([`Route::set_congestion`]), the
+/// *schedule* stretches: `arr[k] = arr[k-1] + leg_time(l_{k-1},
+/// leg[k], arr[k-1])`. With no provider (or the flat profile) the two
+/// coincide bit for bit, which is the flat-equivalence contract of
+/// DESIGN.md §7.
+///
+/// One wrinkle keeps mid-leg re-timing exact: when the simulator snaps
+/// a worker onto an intermediate vertex of its current leg
+/// ([`Route::snap_on_leg`]), the head leg's travel time is *frozen* at
+/// the remainder of the original prediction instead of being
+/// re-integrated from the snap point — integer re-integration from an
+/// interior point could drift by rounding, and a snap must never move
+/// `arr[1]`. Any structural change to the head leg (insertion at
+/// position 0, a pop, a cancellation bridging the first stop, a tail
+/// replacement, a teleport) clears the freeze and re-integrates from
+/// the new leg start, which is always a vertex at a known time.
+#[derive(Clone)]
 pub struct Route {
     start_vertex: VertexId,
     /// `arr[0]`: the time the worker is (or will be) at `start_vertex`.
@@ -84,6 +109,50 @@ pub struct Route {
     picked: Vec<u32>,
     /// `leg[k] = dis(l_{k-1}, l_k)` for `k ≥ 1`; `leg[0] = 0`.
     leg: Vec<Cost>,
+    /// Departure-time-aware travel times; `None` = free flow.
+    congestion: Option<Arc<dyn TravelTimeProvider>>,
+    /// Frozen head-leg travel time after a mid-leg snap (see the type
+    /// docs). Invariant while set: `arr[1] = arr[0] + head_time`.
+    head_time: Option<Cost>,
+}
+
+// The provider is *context*, not state: two routes with the same
+// schedule are the same route. (It also keeps `Route: Eq` now that a
+// `dyn` handle lives inside.)
+impl PartialEq for Route {
+    fn eq(&self, other: &Self) -> bool {
+        self.start_vertex == other.start_vertex
+            && self.start_time == other.start_time
+            && self.initial_load == other.initial_load
+            && self.stops == other.stops
+            && self.arr == other.arr
+            && self.slack == other.slack
+            && self.picked == other.picked
+            && self.leg == other.leg
+            && self.head_time == other.head_time
+    }
+}
+
+impl Eq for Route {}
+
+impl std::fmt::Debug for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Route")
+            .field("start_vertex", &self.start_vertex)
+            .field("start_time", &self.start_time)
+            .field("initial_load", &self.initial_load)
+            .field("stops", &self.stops)
+            .field("arr", &self.arr)
+            .field("slack", &self.slack)
+            .field("picked", &self.picked)
+            .field("leg", &self.leg)
+            .field("head_time", &self.head_time)
+            .field(
+                "congestion",
+                &self.congestion.as_ref().map(|p| p.name().to_string()),
+            )
+            .finish()
+    }
 }
 
 impl Route {
@@ -98,6 +167,50 @@ impl Route {
             slack: vec![INF],
             picked: vec![0],
             leg: vec![0],
+            congestion: None,
+            head_time: None,
+        }
+    }
+
+    /// Installs (or removes) a departure-time-aware travel-time
+    /// provider and rebuilds the schedule under it. The leg array —
+    /// and with it every economic quantity — is untouched; only `arr`
+    /// and `slack` change. A flat provider reproduces the free-flow
+    /// schedule exactly.
+    pub fn set_congestion(&mut self, provider: Option<Arc<dyn TravelTimeProvider>>) {
+        self.congestion = provider;
+        self.head_time = None;
+        self.rebuild();
+    }
+
+    /// The installed travel-time provider, if any.
+    #[inline]
+    pub fn congestion(&self) -> Option<&Arc<dyn TravelTimeProvider>> {
+        self.congestion.as_ref()
+    }
+
+    /// `true` when schedules actually depend on departure times — a
+    /// provider is installed and it is not the identity. Planners use
+    /// this to decide whether a free-flow plan needs the stretched
+    /// feasibility re-check ([`Route::insertion_feasible`]).
+    #[inline]
+    pub fn time_dependent(&self) -> bool {
+        self.congestion.as_ref().is_some_and(|p| !p.is_flat())
+    }
+
+    /// Travel time of leg `k` under the installed provider, departing
+    /// at `depart` (= `arr[k-1]` during a rebuild). Free flow without a
+    /// provider; the frozen head time after a mid-leg snap.
+    #[inline]
+    fn leg_time_at(&self, k: usize, depart: Time) -> Cost {
+        if k == 1 {
+            if let Some(frozen) = self.head_time {
+                return frozen;
+            }
+        }
+        match &self.congestion {
+            None => self.leg[k],
+            Some(p) => p.leg_time(self.vertex(k - 1), self.leg[k], depart),
         }
     }
 
@@ -196,7 +309,7 @@ impl Route {
         self.arr[0] = self.start_time;
         self.picked[0] = self.initial_load;
         for k in 1..=n {
-            self.arr[k] = cost_add(self.arr[k - 1], self.leg[k]);
+            self.arr[k] = cost_add(self.arr[k - 1], self.leg_time_at(k, self.arr[k - 1]));
             let s = &self.stops[k - 1];
             self.picked[k] = match s.kind {
                 StopKind::Pickup => self.picked[k - 1] + s.load,
@@ -219,15 +332,40 @@ impl Route {
     pub fn set_start(&mut self, v: VertexId, time: Time, new_first_leg: Option<Cost>) {
         self.start_vertex = v;
         self.start_time = time;
+        self.head_time = None;
         if !self.stops.is_empty() {
             self.leg[1] = new_first_leg.expect("non-empty route needs dis(l_0, l_1)");
         }
         self.rebuild();
     }
 
+    /// Snaps the worker onto an intermediate vertex of its *current*
+    /// first leg: `v` is a vertex of the driven path, reached at
+    /// `time`, with `remaining_base` free-flow cost left to `l_1`.
+    /// Unlike [`Route::set_start`] this **freezes** the head leg's
+    /// travel time at `arr[1] − time`, so the predicted arrival at
+    /// `l_1` — and with it the whole downstream schedule — is exactly
+    /// unchanged by the snap (re-integrating a congestion profile from
+    /// an interior point could drift by integer rounding).
+    ///
+    /// # Panics
+    /// If the route is empty or `time > arr[1]`.
+    pub fn snap_on_leg(&mut self, v: VertexId, time: Time, remaining_base: Cost) {
+        assert!(!self.stops.is_empty(), "no leg to snap onto");
+        let arr1 = self.arr[1];
+        assert!(time <= arr1, "snap time {time} past arr[1] = {arr1}");
+        self.start_vertex = v;
+        self.start_time = time;
+        self.leg[1] = remaining_base;
+        self.head_time = Some(arr1 - time);
+        self.rebuild();
+        debug_assert_eq!(self.arr[1], arr1, "a snap must never move arr[1]");
+    }
+
     /// Re-times an idle/parked worker to `time` without moving it.
     pub fn set_start_time(&mut self, time: Time) {
         self.start_time = time;
+        self.head_time = None;
         self.rebuild();
     }
 
@@ -251,6 +389,7 @@ impl Route {
         let reached_at = self.arr[1];
         let stop = self.stops.remove(0);
         self.leg.remove(1);
+        self.head_time = None;
         self.start_vertex = stop.vertex;
         self.start_time = reached_at;
         self.initial_load = match stop.kind {
@@ -271,6 +410,12 @@ impl Route {
             i <= j && j <= n,
             "plan positions out of range: ({i},{j}) with n={n}"
         );
+        if i == 0 {
+            // The head leg is replaced by dis(l_0, o_r) — a fresh leg
+            // departing from the current vertex; any snap freeze on
+            // the old head no longer applies.
+            self.head_time = None;
+        }
 
         let pickup = Stop {
             request: r.id,
@@ -377,6 +522,11 @@ impl Route {
                 // A stop follows the removed one: bridge the gap.
                 self.leg[k] = dis(self.vertex(k - 1), self.vertex(k));
             }
+            if k == 1 {
+                // The head leg was replaced by a fresh bridge from the
+                // current vertex: drop any snap freeze.
+                self.head_time = None;
+            }
         }
         self.rebuild();
         let after = self.remaining_distance();
@@ -402,7 +552,31 @@ impl Route {
         self.stops = stops;
         self.leg.truncate(1); // keep leg[0] = 0 sentinel
         self.leg.extend(legs);
+        self.head_time = None;
         self.rebuild();
+    }
+
+    /// Whether applying `plan` for `r` keeps the route feasible
+    /// **under the installed travel-time provider** (Def. 4 on the
+    /// stretched schedule). The insertion operators plan with free-flow
+    /// detours — admissible but optimistic under congestion — so
+    /// planners call this before committing a candidate plan whenever
+    /// [`Route::time_dependent`] holds (DESIGN.md §7). Costs `O(n)` and
+    /// touches no oracle.
+    pub fn insertion_feasible(&self, plan: &InsertionPlan, r: &Request, capacity: u32) -> bool {
+        let mut probe = self.clone();
+        probe.apply_insertion(plan, r);
+        probe.validate(capacity).is_ok()
+    }
+
+    /// Whether replacing the pending tail with `stops`/`legs` keeps the
+    /// route feasible under the installed travel-time provider — the
+    /// [`Route::insertion_feasible`] gate for re-ordering planners
+    /// (kinetic tree).
+    pub fn tail_feasible(&self, stops: &[Stop], legs: &[Cost], capacity: u32) -> bool {
+        let mut probe = self.clone();
+        probe.replace_tail(stops.to_vec(), legs.to_vec());
+        probe.validate(capacity).is_ok()
     }
 
     /// Full `O(n)` feasibility re-check (Def. 4), used by tests and the
@@ -899,6 +1073,129 @@ mod tests {
         let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
         assert_eq!(verts, vec![0, 5, 6]);
         assert_eq!(route.leg(1), 50);
+        assert!(route.validate(1).is_ok());
+    }
+
+    fn x15() -> Arc<dyn TravelTimeProvider> {
+        Arc::new(road_network::congestion::CongestionProfile::constant("x1.5", 1.5).expect("valid"))
+    }
+
+    fn appended(deadline: Time) -> Route {
+        let mut route = Route::new(VertexId(0), 0);
+        let r = req(1, 1, 2, deadline, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 0,
+                direct: 40,
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 25,
+                },
+            },
+            &r,
+        );
+        route
+    }
+
+    #[test]
+    fn congestion_stretches_arrivals_but_not_legs() {
+        let mut route = appended(10_000);
+        assert_eq!((route.arr(1), route.arr(2)), (25, 65));
+        route.set_congestion(Some(x15()));
+        assert!(route.time_dependent());
+        // Schedule stretches 1.5×; legs (the economics) stay free-flow.
+        assert_eq!((route.arr(1), route.arr(2)), (38, 98));
+        assert_eq!((route.leg(1), route.leg(2)), (25, 40));
+        assert_eq!(route.remaining_distance(), 65);
+        // A flat provider is the identity.
+        route.set_congestion(Some(Arc::new(
+            road_network::congestion::CongestionProfile::flat(),
+        )));
+        assert!(!route.time_dependent());
+        assert_eq!((route.arr(1), route.arr(2)), (25, 65));
+    }
+
+    #[test]
+    fn snap_on_leg_freezes_the_head_arrival() {
+        let mut route = appended(10_000);
+        route.set_congestion(Some(x15()));
+        let arr1 = route.arr(1); // 38
+        let arr2 = route.arr(2); // 98
+                                 // Snap onto an interior vertex: 10 base units driven (15 cs).
+        route.snap_on_leg(VertexId(9), 15, 15);
+        assert_eq!(route.start_vertex(), VertexId(9));
+        assert_eq!(route.arr(1), arr1, "snap must not move arr[1]");
+        assert_eq!(route.arr(2), arr2, "snap must not move arr[2]");
+        assert_eq!(route.leg(1), 15, "head leg re-bases to the remainder");
+        // The freeze clears on the next structural change.
+        route.pop_front_stop();
+        assert_eq!(route.start_time(), arr1);
+        assert_eq!(route.arr(1), arr2);
+    }
+
+    #[test]
+    fn insertion_feasible_gates_on_the_stretched_schedule() {
+        // Free-flow delivery at 65; a 1.5× profile pushes it to 98.
+        let plan = InsertionPlan {
+            pickup_after: 0,
+            delivery_after: 0,
+            delta: 0,
+            direct: 40,
+            shape: PlanShape::Append {
+                dis_tail_pickup: 25,
+            },
+        };
+        let r = req(1, 1, 2, 80, 1); // feasible free-flow, late at 1.5×
+        let mut route = Route::new(VertexId(0), 0);
+        assert!(route.insertion_feasible(&plan, &r, 4));
+        route.set_congestion(Some(x15()));
+        assert!(!route.insertion_feasible(&plan, &r, 4));
+        // A roomier deadline passes under congestion too.
+        let r = req(1, 1, 2, 200, 1);
+        assert!(route.insertion_feasible(&plan, &r, 4));
+        assert!(route.is_empty(), "the gate must not mutate the route");
+    }
+
+    #[test]
+    fn cancellation_under_congestion_frees_base_distance() {
+        let dis = |a: VertexId, b: VertexId| u64::from(a.0.abs_diff(b.0)) * 10;
+        let mut route = Route::new(VertexId(0), 0);
+        for (id, o, d) in [(1u32, 2u32, 10u32), (2, 4, 6)] {
+            let r = req(id, o, d, 100_000, 1);
+            let plan = if id == 1 {
+                InsertionPlan {
+                    pickup_after: 0,
+                    delivery_after: 0,
+                    delta: 100,
+                    direct: dis(r.origin, r.destination),
+                    shape: PlanShape::Append {
+                        dis_tail_pickup: dis(VertexId(0), r.origin),
+                    },
+                }
+            } else {
+                InsertionPlan {
+                    pickup_after: 1,
+                    delivery_after: 1,
+                    delta: 0,
+                    direct: dis(r.origin, r.destination),
+                    shape: PlanShape::Adjacent {
+                        dis_prev_pickup: dis(VertexId(2), r.origin),
+                        dis_delivery_next: dis(r.destination, VertexId(10)),
+                    },
+                }
+            };
+            route.apply_insertion(&plan, &r);
+        }
+        route.set_congestion(Some(x15()));
+        let arr_before = route.arr(4);
+        // Freed distance is measured in free-flow units even though the
+        // schedule is stretched, and removal only shrinks arrivals.
+        let freed = route.remove_request(RequestId(2), dis).expect("pending");
+        assert_eq!(freed, 0); // line metric: no detour
+        assert_eq!(route.remaining_distance(), 100);
+        assert!(route.arr(2) <= arr_before);
+        assert_eq!(route.arr(2), 150); // 100 base · 1.5
         assert!(route.validate(1).is_ok());
     }
 

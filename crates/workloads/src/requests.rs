@@ -21,6 +21,73 @@ use urpsm_core::types::{Request, RequestId, Time};
 /// rounded): `P(K_r = i+1) = WEIGHTS[i] / 1000`.
 pub const KR_WEIGHTS: [u32; 6] = [709, 145, 42, 21, 52, 31];
 
+/// A cumulative weight table for sampling indices proportionally to
+/// non-negative weights (the spatial hotspot-mixture sampler).
+///
+/// Edge cases are handled at *construction*, where they are bugs the
+/// caller can see, rather than at sampling time, where the old inline
+/// table panicked on an empty weight list (`len − 1` underflow) and the
+/// `min(len − 1)` clamp silently redirected any partition-point
+/// overshoot to the last index: [`WeightedCdf::new`] refuses empty
+/// tables and non-positive total mass, clamps non-finite or negative
+/// weights to zero, and with a finite positive total the draw
+/// `x ∈ [0, total)` makes `partition_point` provably in-range —
+/// pinned by a debug assertion and the empirical-distribution proptest.
+#[derive(Debug, Clone)]
+pub struct WeightedCdf {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedCdf {
+    /// Builds the table. Non-finite and negative weights are treated as
+    /// zero. Returns `None` when `weights` is empty or the total mass
+    /// is not a positive finite number — there is nothing meaningful to
+    /// sample from such a table.
+    pub fn new(weights: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0f64;
+        for w in weights {
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            acc += w;
+            cumulative.push(acc);
+        }
+        if cumulative.is_empty() || !acc.is_finite() || acc <= 0.0 {
+            return None;
+        }
+        Some(WeightedCdf { cumulative })
+    }
+
+    /// Number of weights in the table.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table is empty (never true: `new` refuses those).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one index with probability proportional to its weight.
+    /// Zero-weight indices are never returned.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = rng.gen_range(0.0..total);
+        // First index whose cumulative mass reaches x; x < total keeps
+        // it in range, and equal consecutive cumulative values (zero
+        // weights) are skipped in favour of the earlier index. The
+        // half-open draw can still produce exactly 0.0, which would
+        // land on a zero-weight *prefix* — route it to the first
+        // positive-mass index instead.
+        let i = if x > 0.0 {
+            self.cumulative.partition_point(|&c| c < x)
+        } else {
+            self.cumulative.partition_point(|&c| c <= 0.0)
+        };
+        debug_assert!(i < self.cumulative.len(), "partition point overshot");
+        i.min(self.cumulative.len() - 1)
+    }
+}
+
 /// Spatial/temporal configuration of a request stream.
 #[derive(Debug, Clone)]
 pub struct RequestStreamConfig {
@@ -73,7 +140,7 @@ pub struct RequestStreamGenerator<'a> {
     cfg: RequestStreamConfig,
     rng: StdRng,
     /// Per-vertex sampling weights as a cumulative table.
-    cumulative: Vec<f64>,
+    cdf: WeightedCdf,
     /// Hotspot centers (index 0 is the city center) — kept for the
     /// inter-region destination model.
     centers: Vec<Point>,
@@ -99,35 +166,34 @@ impl<'a> RequestStreamGenerator<'a> {
                 rng.gen_range(bbox.min.y..=bbox.max.y),
             ));
         }
-        // Mixture density per vertex → cumulative table.
+        // Mixture density per vertex → cumulative table. Every vertex
+        // carries at least the background mass, so the only way the
+        // table can be refused is an empty network — report that as
+        // the caller's bug, with a message, instead of the old
+        // `len − 1` underflow panic at the first sample.
         let two_sigma_sq = 2.0 * cfg.hotspot_sigma_m * cfg.hotspot_sigma_m;
-        let mut cumulative = Vec::with_capacity(network.num_vertices());
-        let mut acc = 0.0f64;
-        for v in network.vertices() {
+        let cdf = WeightedCdf::new(network.vertices().map(|v| {
             let p = network.point(v);
             let mut w = cfg.background.max(1e-9);
             for c in &centers {
                 let d = p.euclidean_m(c);
                 w += (-d * d / two_sigma_sq).exp();
             }
-            acc += w;
-            cumulative.push(acc);
-        }
+            w
+        }))
+        .expect("request streams need a network with at least one vertex");
         RequestStreamGenerator {
             network,
             cfg,
             rng,
-            cumulative,
+            cdf,
             centers,
         }
     }
 
     /// Samples one vertex from the hotspot mixture.
     fn sample_vertex(&mut self) -> VertexId {
-        let total = *self.cumulative.last().expect("non-empty network");
-        let x = self.rng.gen_range(0.0..total);
-        let i = self.cumulative.partition_point(|&c| c < x);
-        VertexId(i.min(self.cumulative.len() - 1) as u32)
+        VertexId(self.cdf.sample(&mut self.rng) as u32)
     }
 
     /// Samples an arrival time from the double-peak day profile:
@@ -487,5 +553,71 @@ mod tests {
     fn penalty_formula() {
         assert_eq!(penalty_for(10, 123), 1_230);
         assert_eq!(penalty_for(0, 123), 0);
+    }
+
+    #[test]
+    fn cdf_refuses_degenerate_weight_tables() {
+        use rand::SeedableRng;
+        // Empty, all-zero and non-finite-total tables are construction
+        // errors, not sampling-time panics (PR-5 regression).
+        assert!(WeightedCdf::new(std::iter::empty()).is_none());
+        assert!(WeightedCdf::new([0.0, 0.0]).is_none());
+        assert!(WeightedCdf::new([-1.0, f64::NAN]).is_none());
+        assert!(WeightedCdf::new([f64::INFINITY]).is_none());
+        // Negative/NaN entries are clamped to zero, not summed.
+        let cdf = WeightedCdf::new([-5.0, 1.0, f64::NAN]).expect("one positive weight");
+        assert_eq!(cdf.len(), 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert_eq!(cdf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn cdf_never_returns_interior_zero_weight_indices() {
+        use rand::SeedableRng;
+        let cdf = WeightedCdf::new([1.0, 0.0, 0.0, 3.0, 0.0]).expect("positive mass");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..4_000 {
+            counts[cdf.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1] + counts[2] + counts[4], 0, "{counts:?}");
+        assert!(counts[0] > 0 && counts[3] > counts[0]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// The empirical sampling distribution matches the weights: for
+        /// every index, the observed frequency is within a generous
+        /// 3σ + 2% band of `w_i / Σw` (and effectively zero for
+        /// zero-weight indices).
+        #[test]
+        fn cdf_empirical_distribution_matches_weights(
+            weights in proptest::collection::vec(0.0f64..10.0, 1..10),
+            seed in 0u64..1_000,
+        ) {
+            use proptest::prelude::*;
+            use rand::SeedableRng;
+            let total: f64 = weights.iter().sum();
+            prop_assume!(total > 0.5);
+            let cdf = WeightedCdf::new(weights.iter().copied()).expect("positive mass");
+            const N: usize = 20_000;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut counts = vec![0usize; weights.len()];
+            for _ in 0..N {
+                counts[cdf.sample(&mut rng)] += 1;
+            }
+            for (i, &w) in weights.iter().enumerate() {
+                let expected = w / total;
+                let got = counts[i] as f64 / N as f64;
+                let band = 0.02 + 3.0 * (expected * (1.0 - expected) / N as f64).sqrt();
+                prop_assert!(
+                    (got - expected).abs() <= band,
+                    "index {i}: got {got:.4}, expected {expected:.4} (±{band:.4}); weights {weights:?}"
+                );
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use road_network::cache::LruCachedOracle;
+use road_network::congestion::CongestionProfile;
 use road_network::graph::RoadNetwork;
 use road_network::oracle::{DijkstraOracle, DistanceOracle, HubLabelOracle};
 use road_network::VertexId;
@@ -56,6 +57,12 @@ pub struct Scenario {
     pub grid_cell_m: f64,
     /// Objective weight `α`.
     pub alpha: u64,
+    /// Supply-side congestion profile for the platform
+    /// ([`ScenarioBuilder::congestion`]); `None` = free flow. The
+    /// facade falls back to the `URPSM_CONGESTION` environment default
+    /// when unset, mirroring the demand-side `rush_hour_skew` knob's
+    /// supply-side counterpart.
+    pub congestion: Option<Arc<CongestionProfile>>,
 }
 
 impl Scenario {
@@ -130,6 +137,7 @@ pub struct ScenarioBuilder {
     departures: usize,
     arrivals: usize,
     departure_policy: ReassignPolicy,
+    congestion: Option<Arc<CongestionProfile>>,
 }
 
 impl ScenarioBuilder {
@@ -161,6 +169,7 @@ impl ScenarioBuilder {
             departures: 0,
             arrivals: 0,
             departure_policy: ReassignPolicy::Reassign,
+            congestion: None,
         }
     }
 
@@ -309,6 +318,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a supply-side congestion profile: travel times become
+    /// departure-time dependent under the profile's per-bucket (and
+    /// optionally per-region) multipliers, while demand, fleet and every
+    /// seeded draw stay byte-identical — the knob consumes no
+    /// randomness. The flat profile reproduces free-flow runs exactly
+    /// (`tests/congestion_equivalence.rs`).
+    pub fn congestion(mut self, profile: CongestionProfile) -> Self {
+        self.congestion = Some(Arc::new(profile));
+        self
+    }
+
     /// Materializes the scenario (builds network, labels, fleet and
     /// stream — the preprocessing the paper excludes from timings).
     pub fn build(self) -> Scenario {
@@ -419,6 +439,7 @@ impl ScenarioBuilder {
             fleet_events,
             grid_cell_m: self.grid_cell_m,
             alpha: self.alpha,
+            congestion: self.congestion,
         }
     }
 }
@@ -619,6 +640,30 @@ mod tests {
         let explicit = base().inter_region_trips(0.0).rush_hour_skew(1.0).build();
         assert_eq!(plain.requests, explicit.requests);
         assert_eq!(plain.workers, explicit.workers);
+    }
+
+    #[test]
+    fn congestion_knob_changes_no_seeded_draw() {
+        let base = || {
+            ScenarioBuilder::named("t")
+                .grid_city(6, 6)
+                .workers(4)
+                .requests(40)
+                .seed(13)
+        };
+        let plain = base().build();
+        let congested = base()
+            .congestion(CongestionProfile::chengdu_two_peak())
+            .build();
+        // Supply-side congestion must not perturb demand or fleet.
+        assert_eq!(plain.requests, congested.requests);
+        assert_eq!(plain.workers, congested.workers);
+        assert!(plain.congestion.is_none());
+        let p = congested.congestion.expect("profile installed");
+        assert_eq!(
+            road_network::congestion::TravelTimeProvider::name(&*p),
+            "chengdu-2peak"
+        );
     }
 
     #[test]

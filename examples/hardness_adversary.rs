@@ -23,6 +23,7 @@ fn run_draw(inst: &AdversaryInstance) -> (u64, u64) {
             alpha: inst.alpha,
             drain: true,
             threads: 0,
+            congestion: None,
         },
     )
     .expect("single-request stream is sorted");

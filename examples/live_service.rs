@@ -18,9 +18,11 @@ fn describe(ev: &SimEvent) -> String {
         SimEvent::Rejected { t, r } => format!("t={t:>7}  {r} rejected"),
         SimEvent::Pickup { t, r, w } => format!("t={t:>7}  {w} picked up {r}"),
         SimEvent::Delivery { t, r, w } => format!("t={t:>7}  {w} delivered {r}"),
-        SimEvent::Cancelled { t, r } => format!("t={t:>7}  {r} cancelled by rider"),
-        SimEvent::Unassigned { t, r, w } => {
-            format!("t={t:>7}  {r} handed back by departing {w}")
+        SimEvent::Cancelled { t, r, freed } => {
+            format!("t={t:>7}  {r} cancelled by rider (freed {freed})")
+        }
+        SimEvent::Unassigned { t, r, w, freed } => {
+            format!("t={t:>7}  {r} handed back by departing {w} (freed {freed})")
         }
         SimEvent::WorkerJoined { t, w } => format!("t={t:>7}  {w} joined the fleet"),
         SimEvent::WorkerLeft { t, w } => format!("t={t:>7}  {w} left the fleet"),

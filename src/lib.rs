@@ -124,9 +124,22 @@ pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> Mobil
             alpha: scenario.alpha,
             drain: true,
             threads: 0,
+            congestion: scenario_congestion(scenario),
         },
         start_time,
     )
+}
+
+/// The scenario's congestion profile, falling back to the
+/// `URPSM_CONGESTION` environment default (mirroring how
+/// `URPSM_THREADS` / `URPSM_SHARDS` reach scenario-driven runs).
+fn scenario_congestion(
+    scenario: &Scenario,
+) -> Option<std::sync::Arc<road_network::congestion::CongestionProfile>> {
+    scenario
+        .congestion
+        .clone()
+        .or_else(road_network::congestion::congestion_from_env)
 }
 
 /// Opens a geo-sharded [`ShardedService`] over a [`Scenario`]: the city
@@ -167,6 +180,7 @@ where
                 alpha: scenario.alpha,
                 drain: true,
                 threads: 0,
+                congestion: scenario_congestion(scenario),
             },
             ..ShardConfig::default()
         },
@@ -189,6 +203,7 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
             alpha: scenario.alpha,
             drain: true,
             threads: 0,
+            congestion: scenario_congestion(scenario),
         },
     )
     .expect("scenario request streams are sorted by construction")

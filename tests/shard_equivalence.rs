@@ -72,6 +72,7 @@ fn run_sharded(sc: &Scenario, shards: usize, boundary: BoundaryPolicy) -> Sharde
                 alpha: sc.alpha,
                 drain: true,
                 threads: 0,
+                ..SimConfig::default()
             },
         },
         sc.event_stream().first().map_or(0, PlatformEvent::time),

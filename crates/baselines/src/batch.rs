@@ -18,7 +18,7 @@
 
 use road_network::{Cost, INF};
 use urpsm_core::insertion::{linear_dp_insertion_with, InsertionScratch};
-use urpsm_core::planner::Planner;
+use urpsm_core::planner::{Planner, PlannerReplies};
 use urpsm_core::platform::{Outcome, PlatformState};
 use urpsm_core::route::{InsertionPlan, Route};
 use urpsm_core::types::{Request, RequestId, Time, WorkerId};
@@ -53,6 +53,12 @@ pub struct BatchPlanner {
     epoch_end: Option<Time>,
     scratch: InsertionScratch,
     candidates: Vec<WorkerId>,
+    /// Reusable simulated route for the per-worker group trial —
+    /// `clone_from`-ed over each candidate's route instead of cloning
+    /// a fresh one per worker.
+    group_route: Route,
+    /// Reusable probe for the congestion re-feasibility gate.
+    probe: Route,
 }
 
 impl BatchPlanner {
@@ -89,11 +95,11 @@ impl BatchPlanner {
         linear_dp_insertion_with(&mut self.scratch, &route, capacity, b, oracle).is_some()
     }
 
-    fn process_batch(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+    fn process_batch(&mut self, state: &mut PlatformState) -> PlannerReplies {
         let mut batch = std::mem::take(&mut self.buffer);
         self.epoch_end = None;
         if batch.is_empty() {
-            return Vec::new();
+            return PlannerReplies::new();
         }
         batch.sort_by_key(|r| r.id);
         let now = state.now();
@@ -121,7 +127,7 @@ impl BatchPlanner {
         //    formulation (one trip per vehicle per assignment round),
         //    a worker takes at most one group per epoch.
         let oracle = state.oracle_arc();
-        let mut outcomes = Vec::new();
+        let mut outcomes = PlannerReplies::new();
         let mut taken: Vec<bool> = vec![false; state.num_workers()];
         for group in groups {
             let lead = &group[0];
@@ -136,23 +142,34 @@ impl BatchPlanner {
                     continue;
                 }
                 let agent = state.agent(w);
-                let mut route = agent.route.clone();
+                self.group_route.clone_from(&agent.route);
                 let capacity = agent.worker.capacity;
                 let mut plans = Vec::with_capacity(group.len());
                 let mut total_delta: Cost = 0;
                 for m in &group {
-                    if let Some(plan) =
-                        linear_dp_insertion_with(&mut self.scratch, &route, capacity, m, &*oracle)
-                    {
+                    if let Some(plan) = linear_dp_insertion_with(
+                        &mut self.scratch,
+                        &self.group_route,
+                        capacity,
+                        m,
+                        &*oracle,
+                    ) {
                         // Under a congestion profile, a member only
                         // joins the simulated route if the stretched
                         // schedule stays feasible (DESIGN.md §7) —
                         // the clone carries the provider, so later
                         // members re-check the earlier ones too.
-                        if route.time_dependent() && !route.insertion_feasible(&plan, m, capacity) {
+                        if self.group_route.time_dependent()
+                            && !self.group_route.insertion_feasible_with(
+                                &mut self.probe,
+                                &plan,
+                                m,
+                                capacity,
+                            )
+                        {
                             continue;
                         }
-                        route.apply_insertion(&plan, m);
+                        self.group_route.apply_insertion(&plan, m);
                         total_delta += plan.delta;
                         plans.push((*m, plan));
                     }
@@ -213,7 +230,7 @@ impl Planner for BatchPlanner {
         "batch"
     }
 
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
         // A new epoch opens with the first buffered request.
         if self.epoch_end.is_none() {
             self.epoch_end = Some(r.release + self.cfg.epoch);
@@ -224,18 +241,18 @@ impl Planner for BatchPlanner {
         if state.now() >= self.epoch_end.expect("set above") {
             self.process_batch(state)
         } else {
-            Vec::new()
+            PlannerReplies::new()
         }
     }
 
-    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> PlannerReplies {
         match self.epoch_end {
             Some(end) if now >= end => self.process_batch(state),
-            _ => Vec::new(),
+            _ => PlannerReplies::new(),
         }
     }
 
-    fn flush(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+    fn flush(&mut self, state: &mut PlatformState) -> PlannerReplies {
         self.process_batch(state)
     }
 

@@ -23,10 +23,10 @@
 use road_network::{cost_add, Cost, INF};
 use urpsm_core::decision::decision_phase;
 use urpsm_core::insertion::{linear_dp_insertion_with, InsertionScratch};
-use urpsm_core::planner::Planner;
+use urpsm_core::planner::{reply_one, Planner, PlannerReplies};
 use urpsm_core::platform::{Outcome, PlatformState};
 use urpsm_core::route::Route;
-use urpsm_core::types::{Request, RequestId, Stop, StopKind, Time, WorkerId};
+use urpsm_core::types::{Request, Stop, StopKind, Time, WorkerId};
 
 /// Configuration of the kinetic baseline.
 #[derive(Debug, Clone, Copy)]
@@ -48,12 +48,37 @@ impl Default for KineticConfig {
 }
 
 /// The kinetic-tree planner.
+///
+/// All per-evaluation temporaries (orderable items, the pairwise
+/// distance matrix, the branch-and-bound stack/visited/best buffers,
+/// and the rebuilt tail) are planner-resident scratch, `clear()`-reused
+/// across evaluations so steady-state planning stops hitting the
+/// allocator once the buffers reach their high-water mark.
 #[derive(Debug, Default)]
 pub struct KineticPlanner {
     cfg: KineticConfig,
     candidates: Vec<WorkerId>,
     scratch: InsertionScratch,
     overflows: u64,
+    /// Orderable items of the current evaluation.
+    items: Vec<Item>,
+    /// `(m+1) × (m+1)` pairwise distances among {start} ∪ items.
+    dist: Vec<Cost>,
+    /// Branch-and-bound visited/stack/best-sequence buffers.
+    search_used: Vec<bool>,
+    search_stack: Vec<usize>,
+    search_best: Vec<usize>,
+    /// Warm-start route (insertion seed), `clone_from`-reused.
+    seed_route: Route,
+    /// Reusable probe for the congestion tail-feasibility gate.
+    probe: Route,
+    /// Re-ordered tail of the current evaluation.
+    eval_stops: Vec<Stop>,
+    eval_legs: Vec<Cost>,
+    /// Re-ordered tail of the best candidate so far (swapped with the
+    /// eval buffers, so both stay warm).
+    best_stops: Vec<Stop>,
+    best_legs: Vec<Cost>,
 }
 
 impl KineticPlanner {
@@ -85,7 +110,9 @@ struct Item {
     pred: Option<usize>,
 }
 
-/// Branch-and-bound state over orderings.
+/// Branch-and-bound state over orderings. The growable buffers are
+/// borrowed from the planner's scratch, not owned, so repeated
+/// searches reuse their capacity.
 struct Search<'a> {
     items: &'a [Item],
     /// `(m+1) × (m+1)` distances among {start} ∪ item vertices.
@@ -96,9 +123,9 @@ struct Search<'a> {
     node_budget: u64,
     nodes: u64,
     best_total: Cost,
-    best_seq: Vec<usize>,
-    stack: Vec<usize>,
-    used: Vec<bool>,
+    best_seq: &'a mut Vec<usize>,
+    stack: &'a mut Vec<usize>,
+    used: &'a mut Vec<bool>,
     overflowed: bool,
 }
 
@@ -121,7 +148,7 @@ impl Search<'_> {
         if depth == self.items.len() {
             self.best_total = total;
             self.best_seq.clear();
-            self.best_seq.extend_from_slice(&self.stack);
+            self.best_seq.extend_from_slice(self.stack);
             return;
         }
         for i in 0..self.items.len() {
@@ -158,17 +185,13 @@ impl Search<'_> {
     }
 }
 
-/// Result of evaluating one worker.
-struct Eval {
-    delta: Cost,
-    stops: Vec<Stop>,
-    legs: Vec<Cost>,
-}
-
 impl KineticPlanner {
     /// Searches all feasible orderings of `route`'s pending stops plus
-    /// the new pair; returns the cheapest found (warm-started with the
-    /// insertion plan so an overflow degrades gracefully).
+    /// the new pair; returns the cheapest delta found (warm-started
+    /// with the insertion plan so an overflow degrades gracefully) and
+    /// leaves the matching re-ordered tail in `self.eval_stops` /
+    /// `self.eval_legs` — planner-resident scratch, reused across
+    /// evaluations.
     fn evaluate_worker(
         &mut self,
         route: &Route,
@@ -176,34 +199,34 @@ impl KineticPlanner {
         r: &Request,
         direct: Cost,
         oracle: &dyn road_network::oracle::DistanceOracle,
-    ) -> Option<Eval> {
+    ) -> Option<Cost> {
         // Warm start: the best order-preserving insertion.
         let seed =
             linear_dp_insertion_with(&mut self.scratch, route, capacity, r, oracle).map(|plan| {
-                let mut clone = route.clone();
-                clone.apply_insertion(&plan, r);
-                (plan.delta, clone)
+                self.seed_route.clone_from(route);
+                self.seed_route.apply_insertion(&plan, r);
+                plan.delta
             });
 
         // Items: pending stops + the new pickup/delivery.
-        let n = route.len();
-        let mut items: Vec<Item> = Vec::with_capacity(n + 2);
+        self.items.clear();
+        self.items.reserve(route.len() + 2);
         for s in route.stops() {
-            items.push(Item {
+            self.items.push(Item {
                 stop: *s,
                 pred: None,
             });
         }
         // Wire precedence for request pairs already on the route.
-        for i in 0..items.len() {
-            if items[i].stop.kind == StopKind::Delivery {
-                items[i].pred = items[..i].iter().position(|p| {
-                    p.stop.kind == StopKind::Pickup && p.stop.request == items[i].stop.request
+        for i in 0..self.items.len() {
+            if self.items[i].stop.kind == StopKind::Delivery {
+                self.items[i].pred = self.items[..i].iter().position(|p| {
+                    p.stop.kind == StopKind::Pickup && p.stop.request == self.items[i].stop.request
                 });
             }
         }
-        let pickup_idx = items.len();
-        items.push(Item {
+        let pickup_idx = self.items.len();
+        self.items.push(Item {
             stop: Stop {
                 request: r.id,
                 vertex: r.origin,
@@ -213,7 +236,7 @@ impl KineticPlanner {
             },
             pred: None,
         });
-        items.push(Item {
+        self.items.push(Item {
             stop: Stop {
                 request: r.id,
                 vertex: r.destination,
@@ -224,71 +247,74 @@ impl KineticPlanner {
             pred: Some(pickup_idx),
         });
 
-        let m = items.len();
+        let m = self.items.len();
         // Pairwise distances among {start} ∪ items.
-        let mut dist = vec![0 as Cost; (m + 1) * (m + 1)];
-        let vert = |k: usize| {
-            if k == 0 {
-                route.start_vertex()
-            } else {
-                items[k - 1].stop.vertex
-            }
-        };
-        for a in 0..=m {
-            for b in (a + 1)..=m {
-                let d = oracle.dis(vert(a), vert(b));
-                dist[a * (m + 1) + b] = d;
-                dist[b * (m + 1) + a] = d;
+        self.dist.clear();
+        self.dist.resize((m + 1) * (m + 1), 0);
+        {
+            let (items, dist) = (&self.items, &mut self.dist);
+            let vert = |k: usize| {
+                if k == 0 {
+                    route.start_vertex()
+                } else {
+                    items[k - 1].stop.vertex
+                }
+            };
+            for a in 0..=m {
+                for b in (a + 1)..=m {
+                    let d = oracle.dis(vert(a), vert(b));
+                    dist[a * (m + 1) + b] = d;
+                    dist[b * (m + 1) + a] = d;
+                }
             }
         }
 
         let old_remaining = route.remaining_distance();
+        self.search_best.clear();
+        self.search_stack.clear();
+        self.search_used.clear();
+        self.search_used.resize(m, false);
         let mut search = Search {
-            items: &items,
-            dist: &dist,
+            items: &self.items,
+            dist: &self.dist,
             m,
             capacity,
             start_time: route.start_time(),
             node_budget: self.cfg.node_budget,
             nodes: 0,
-            best_total: seed
-                .as_ref()
-                .map_or(INF, |(delta, _)| cost_add(old_remaining, *delta)),
-            best_seq: Vec::new(),
-            stack: Vec::with_capacity(m),
-            used: vec![false; m],
+            best_total: seed.map_or(INF, |delta| cost_add(old_remaining, delta)),
+            best_seq: &mut self.search_best,
+            stack: &mut self.search_stack,
+            used: &mut self.search_used,
             overflowed: false,
         };
         let t0 = search.start_time;
         search.dfs(0, t0, route.onboard(), 0, 0);
-        if search.overflowed {
+        let best_total = search.best_total;
+        let overflowed = search.overflowed;
+        if overflowed {
             self.overflows += 1;
         }
 
-        if !search.best_seq.is_empty() {
+        self.eval_stops.clear();
+        self.eval_legs.clear();
+        if !self.search_best.is_empty() {
             // A strictly better ordering than the insertion seed.
-            let total = search.best_total;
-            let seq = search.best_seq.clone();
-            let mut stops = Vec::with_capacity(m);
-            let mut legs = Vec::with_capacity(m);
             let mut prev = 0usize;
-            for &i in &seq {
-                stops.push(items[i].stop);
-                legs.push(search.d(prev, i + 1));
+            for &i in &self.search_best {
+                self.eval_stops.push(self.items[i].stop);
+                self.eval_legs.push(self.dist[prev * (m + 1) + i + 1]);
                 prev = i + 1;
             }
-            Some(Eval {
-                delta: total - old_remaining,
-                stops,
-                legs,
-            })
-        } else {
+            Some(best_total - old_remaining)
+        } else if let Some(delta) = seed {
             // Fall back to the insertion seed (or infeasible).
-            seed.map(|(delta, clone)| Eval {
-                delta,
-                stops: clone.stops().to_vec(),
-                legs: (1..=clone.len()).map(|k| clone.leg(k)).collect(),
-            })
+            self.eval_stops.extend_from_slice(self.seed_route.stops());
+            self.eval_legs
+                .extend((1..=self.seed_route.len()).map(|k| self.seed_route.leg(k)));
+            Some(delta)
+        } else {
+            None
         }
     }
 }
@@ -301,12 +327,12 @@ impl Planner for KineticPlanner {
         "kinetic"
     }
 
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
         let oracle = state.oracle_arc();
         let direct = oracle.dis(r.origin, r.destination);
         if direct >= INF {
             state.reject(r);
-            return vec![(r.id, Outcome::Rejected)];
+            return reply_one(r.id, Outcome::Rejected);
         }
         let mut candidates = std::mem::take(&mut self.candidates);
         state.candidate_workers(r, direct, &mut candidates);
@@ -316,36 +342,46 @@ impl Planner for KineticPlanner {
         if decision.reject {
             self.candidates = candidates;
             state.reject(r);
-            return vec![(r.id, Outcome::Rejected)];
+            return reply_one(r.id, Outcome::Rejected);
         }
 
-        let mut best: Option<(Cost, WorkerId, Eval)> = None;
+        let mut best: Option<(Cost, WorkerId)> = None;
         for &(_, w) in &decision.lower_bounds {
             let agent = state.agent(w);
             let route = agent.route.clone();
             let capacity = agent.worker.capacity;
-            if let Some(eval) = self.evaluate_worker(&route, capacity, r, direct, &*oracle) {
+            if let Some(delta) = self.evaluate_worker(&route, capacity, r, direct, &*oracle) {
                 // The branch-and-bound search times stops at free flow;
                 // under a congestion profile the re-ordered tail must
                 // also survive the stretched schedule (DESIGN.md §7).
-                if route.time_dependent() && !route.tail_feasible(&eval.stops, &eval.legs, capacity)
+                if route.time_dependent()
+                    && !route.tail_feasible_with(
+                        &mut self.probe,
+                        &self.eval_stops,
+                        &self.eval_legs,
+                        capacity,
+                    )
                 {
                     continue;
                 }
                 let better = match &best {
                     None => true,
-                    Some((bd, bw, _)) => (eval.delta, w) < (*bd, *bw),
+                    Some((bd, bw)) => (delta, w) < (*bd, *bw),
                 };
                 if better {
-                    best = Some((eval.delta, w, eval));
+                    best = Some((delta, w));
+                    // Keep the winning tail; the swap recycles the old
+                    // best buffers as the next evaluation's scratch.
+                    std::mem::swap(&mut self.best_stops, &mut self.eval_stops);
+                    std::mem::swap(&mut self.best_legs, &mut self.eval_legs);
                 }
             }
         }
         self.candidates = candidates;
 
         let outcome = match best {
-            Some((delta, w, eval)) => {
-                state.commit_reordered(w, r, eval.stops, eval.legs, delta);
+            Some((delta, w)) => {
+                state.commit_reordered(w, r, &self.best_stops, &self.best_legs, delta);
                 Outcome::Assigned { worker: w, delta }
             }
             None => {
@@ -353,7 +389,7 @@ impl Planner for KineticPlanner {
                 Outcome::Rejected
             }
         };
-        vec![(r.id, outcome)]
+        reply_one(r.id, outcome)
     }
 }
 
@@ -365,6 +401,7 @@ mod tests {
     use road_network::VertexId;
     use std::sync::Arc;
     use urpsm_core::planner::PruneGreedyDp;
+    use urpsm_core::types::RequestId;
     use urpsm_core::types::Worker;
 
     fn line_oracle(n: usize) -> Arc<MatrixOracle> {

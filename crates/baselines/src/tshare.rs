@@ -17,10 +17,10 @@
 //! fastest algorithm.
 
 use urpsm_core::insertion::basic_insertion;
-use urpsm_core::planner::Planner;
+use urpsm_core::planner::{reply_one, Planner, PlannerReplies};
 use urpsm_core::platform::{Outcome, PlatformState};
-use urpsm_core::route::InsertionPlan;
-use urpsm_core::types::{Request, RequestId, WorkerId};
+use urpsm_core::route::{InsertionPlan, Route};
+use urpsm_core::types::{Request, WorkerId};
 
 use road_network::{Cost, INF};
 
@@ -66,6 +66,8 @@ pub struct TSharePlanner {
     cfg: TShareConfig,
     candidates: Vec<u64>,
     dual_scratch: Vec<u64>,
+    /// Reusable probe route for the congestion re-feasibility gate.
+    probe: Route,
 }
 
 impl TSharePlanner {
@@ -96,13 +98,13 @@ impl Planner for TSharePlanner {
         "tshare"
     }
 
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
         state.enable_sorted_grid(self.cfg.grid_cell_m);
         let oracle = state.oracle_arc();
         let direct = oracle.dis(r.origin, r.destination);
         if direct >= INF {
             state.reject(r);
-            return vec![(r.id, Outcome::Rejected)];
+            return reply_one(r.id, Outcome::Rejected);
         }
 
         // Single-side search: walk cells outward until the center
@@ -139,9 +141,12 @@ impl Planner for TSharePlanner {
                 // profile: only stretched-feasible ones may compete
                 // (DESIGN.md §7).
                 if agent.route.time_dependent()
-                    && !agent
-                        .route
-                        .insertion_feasible(&plan, r, agent.worker.capacity)
+                    && !agent.route.insertion_feasible_with(
+                        &mut self.probe,
+                        &plan,
+                        r,
+                        agent.worker.capacity,
+                    )
                 {
                     continue;
                 }
@@ -165,7 +170,7 @@ impl Planner for TSharePlanner {
                 Outcome::Rejected
             }
         };
-        vec![(r.id, outcome)]
+        reply_one(r.id, outcome)
     }
 }
 
@@ -176,6 +181,7 @@ mod tests {
     use road_network::matrix::MatrixOracle;
     use road_network::VertexId;
     use std::sync::Arc;
+    use urpsm_core::types::RequestId;
     use urpsm_core::types::{Time, Worker};
 
     /// Vertices 100 m apart; road time = euclid time at 10 m/s.

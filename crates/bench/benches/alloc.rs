@@ -1,0 +1,303 @@
+//! The allocation gate for the planning hot path.
+//!
+//! With `--features alloc-count` this bench installs the counting
+//! global allocator ([`urpsm_bench::alloc_track`]) and measures the
+//! exact number of heap allocations inside `planner.on_request` for
+//! every planner, in steady state: warmed scratch arenas, reserved
+//! bookkeeping containers, routes held at the ≤ 8-stop inline regime
+//! by draining stops *between* (never inside) measured regions.
+//!
+//! The gate: a steady-state planned insertion under `GreedyDP` and
+//! `pruneGreedyDP` at `threads = 1` performs **zero** allocations —
+//! free flow *and* under the chengdu-2peak congestion profile (whose
+//! stretched-feasibility re-check runs on the scratch probe route).
+//! The three baselines and the fused-parallel engine are measured and
+//! reported but not gated; the parallel numbers include the scoped
+//! fan-out's spawn cost by design.
+//!
+//! Without the feature the bench compiles to a no-op so a plain
+//! `cargo bench` never fails; CI runs the gated configuration
+//! explicitly. `--json <path>` writes a `BENCH_alloc.json`-style
+//! artifact with the per-planner table.
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: urpsm_bench::alloc_track::CountingAllocator =
+    urpsm_bench::alloc_track::CountingAllocator;
+
+#[cfg(not(feature = "alloc-count"))]
+fn main() {
+    eprintln!(
+        "alloc bench: skipped (counting allocator not installed); \
+         run with `cargo bench -p urpsm-bench --features alloc-count --bench alloc`"
+    );
+}
+
+#[cfg(feature = "alloc-count")]
+fn main() {
+    gated::main();
+}
+
+#[cfg(feature = "alloc-count")]
+mod gated {
+    use std::sync::Arc;
+
+    use road_network::congestion::{CongestionProfile, HOUR_CS};
+    use road_network::matrix::MatrixOracle;
+    use road_network::{Cost, VertexId};
+    use urpsm_bench::alloc_track;
+    use urpsm_bench::harness::Algo;
+    use urpsm_core::planner::Planner;
+    use urpsm_core::platform::{Outcome, PlatformState};
+    use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
+
+    /// Streets on a line, 150 cs of travel per metre-spaced vertex.
+    const VERTICES: usize = 512;
+    const WORKERS: u32 = 64;
+    /// Unmeasured requests that grow every arena to its steady size.
+    const WARMUP: usize = 256;
+    /// Measured steady-state requests per (planner, profile) run.
+    const MEASURED: usize = 512;
+    /// The congested runs straddle the 08:00 peak, like the congestion
+    /// bench and `tests/congestion_equivalence.rs`.
+    const RUSH_SHIFT: Time = 7 * HOUR_CS + HOUR_CS / 2;
+
+    /// One (planner, profile, thread-width) row of the report.
+    pub struct Row {
+        pub planner: &'static str,
+        pub profile: &'static str,
+        pub threads: usize,
+        pub requests: usize,
+        pub served: usize,
+        pub total_allocs: u64,
+        pub max_allocs: u64,
+        pub gated: bool,
+    }
+
+    impl Row {
+        fn allocs_per_request(&self) -> f64 {
+            self.total_allocs as f64 / self.requests as f64
+        }
+    }
+
+    fn line_oracle() -> Arc<MatrixOracle> {
+        let rows: Vec<Vec<Cost>> = (0..VERTICES)
+            .map(|u| {
+                (0..VERTICES)
+                    .map(|v| (u.abs_diff(v) as Cost) * 150)
+                    .collect()
+            })
+            .collect();
+        let points = (0..VERTICES)
+            .map(|k| road_network::geo::Point::new(k as f64, 0.0))
+            .collect();
+        Arc::new(MatrixOracle::from_matrix(&rows, points, 1.0))
+    }
+
+    fn fleet() -> Vec<Worker> {
+        let spacing = VERTICES as u32 / WORKERS;
+        (0..WORKERS)
+            .map(|i| Worker {
+                id: WorkerId(i),
+                origin: VertexId(i * spacing),
+                capacity: 4,
+            })
+            .collect()
+    }
+
+    /// The `i`-th steady-state request: a short hop near worker
+    /// `i mod WORKERS`, roomy deadline, penalty high enough that the
+    /// economic gate always admits it — every request is a *planned
+    /// insertion*, which is what the gate is about.
+    fn request(i: usize, shift: Time) -> Request {
+        let spacing = VERTICES as u32 / WORKERS;
+        let base = (i as u32 % WORKERS) * spacing;
+        let origin = base + 1 + (i as u32 / WORKERS) % 3;
+        Request {
+            id: RequestId(i as u32),
+            origin: VertexId(origin),
+            destination: VertexId(origin + 4),
+            release: shift,
+            deadline: shift + 2_000_000,
+            penalty: u64::MAX / 4,
+            capacity: 1,
+        }
+    }
+
+    /// Returns every worker's route to empty/idle. Runs *between*
+    /// measured regions, so its allocations (grid upserts, the
+    /// completed-request set) never count — exactly like the motion
+    /// plane draining stops between two request arrivals.
+    fn drain_routes(state: &mut PlatformState) {
+        for i in 0..WORKERS {
+            let w = WorkerId(i);
+            while !state.agent(w).route.is_empty() {
+                state.pop_worker_stop(w);
+            }
+        }
+    }
+
+    fn run(algo: Algo, profile: &'static str, threads: usize) -> Row {
+        let oracle = line_oracle();
+        let workers = fleet();
+        let shift = if profile == "free-flow" {
+            0
+        } else {
+            RUSH_SHIFT
+        };
+        let mut state = PlatformState::new(oracle, &workers, 20.0, shift);
+        if profile != "free-flow" {
+            state.set_congestion(Some(Arc::new(CongestionProfile::chengdu_two_peak())));
+        }
+        state.reserve_request_capacity(WARMUP + MEASURED);
+        let mut planner = algo.planner(1, 2_000.0);
+        if threads > 1 {
+            planner.set_threads(threads);
+        }
+
+        // Warmup: grow every scratch arena, thread-local grid buffer,
+        // hash-map table and shortlist column to its steady-state size.
+        for i in 0..WARMUP {
+            let r = request(i, shift);
+            planner.on_request(&mut state, &r);
+            planner.flush(&mut state);
+            drain_routes(&mut state);
+        }
+
+        let mut served = 0usize;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for i in 0..MEASURED {
+            let r = request(WARMUP + i, shift);
+            let (outs, allocs) = alloc_track::measure(|| planner.on_request(&mut state, &r));
+            total += allocs;
+            max = max.max(allocs);
+            served += outs
+                .iter()
+                .filter(|(_, o)| matches!(o, Outcome::Assigned { .. }))
+                .count();
+            // Deferred planners (batch) decide at flush; keep their
+            // buffers bounded and their outcomes flowing, uncounted.
+            served += planner
+                .flush(&mut state)
+                .iter()
+                .filter(|(_, o)| matches!(o, Outcome::Assigned { .. }))
+                .count();
+            drain_routes(&mut state);
+        }
+
+        let gated = threads == 1 && matches!(algo, Algo::GreedyDp | Algo::PruneGreedyDp);
+        Row {
+            planner: algo.name(),
+            profile,
+            threads,
+            requests: MEASURED,
+            served,
+            total_allocs: total,
+            max_allocs: max,
+            gated,
+        }
+    }
+
+    fn write_json(path: &str, rows: &[Row]) {
+        let mut out = String::from("{\n  \"bench\": \"alloc\",\n  \"results\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"planner\": \"{}\", \"profile\": \"{}\", \"threads\": {}, \
+                 \"requests\": {}, \"served\": {}, \"allocs_per_request\": {:.4}, \
+                 \"max_allocs\": {}, \"gated\": {}}}{}\n",
+                row.planner,
+                row.profile,
+                row.threads,
+                row.requests,
+                row.served,
+                row.allocs_per_request(),
+                row.max_allocs,
+                row.gated,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write --json artifact");
+        eprintln!("alloc bench: wrote {path}");
+    }
+
+    pub fn main() {
+        // Criterion-compatible argument surface: swallow harness flags,
+        // honor `--json <path>`.
+        let mut json: Option<String> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => json = args.next(),
+                "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    args.next();
+                }
+                _ => {}
+            }
+        }
+
+        let mut rows = Vec::new();
+        for profile in ["free-flow", "chengdu-2peak"] {
+            for algo in Algo::ALL {
+                rows.push(run(algo, profile, 1));
+            }
+            // The fused-parallel engine, reported for scale: its scoped
+            // spawn set allocates per request by design.
+            rows.push(run(Algo::PruneGreedyDp, profile, 4));
+        }
+
+        eprintln!(
+            "{:<14} {:<14} {:>7} {:>8} {:>14} {:>11} {:>6}",
+            "planner", "profile", "threads", "served", "allocs/request", "max/request", "gate"
+        );
+        let mut failures = Vec::new();
+        for row in &rows {
+            let verdict = if !row.gated {
+                "-"
+            } else if row.total_allocs == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            };
+            eprintln!(
+                "{:<14} {:<14} {:>7} {:>8} {:>14.4} {:>11} {:>6}",
+                row.planner,
+                row.profile,
+                row.threads,
+                format!("{}/{}", row.served, row.requests),
+                row.allocs_per_request(),
+                row.max_allocs,
+                verdict
+            );
+            if row.gated {
+                // The gate is only meaningful if the measured regions
+                // really were planned insertions, not rejections.
+                assert_eq!(
+                    row.served, row.requests,
+                    "{} ({}) must serve every steady-state request",
+                    row.planner, row.profile
+                );
+                if row.total_allocs != 0 {
+                    failures.push(format!(
+                        "{} ({}): {} allocations over {} planned insertions (max {}/request)",
+                        row.planner, row.profile, row.total_allocs, row.requests, row.max_allocs
+                    ));
+                }
+            }
+        }
+
+        if let Some(path) = json {
+            write_json(&path, &rows);
+        }
+
+        if !failures.is_empty() {
+            eprintln!("zero-allocation gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("zero-allocation gate passed: steady-state planned insertions allocate nothing");
+    }
+}

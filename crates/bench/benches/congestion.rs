@@ -72,6 +72,14 @@ fn bench_congestion(c: &mut Criterion) {
         peak.unified_cost,
         free.unified_cost
     );
+    // Quality numbers travel with the timings in the --json artifact.
+    c.metadata("free-flow/served_rate", format!("{:.4}", free.served_rate));
+    c.metadata("free-flow/unified_cost", free.unified_cost);
+    c.metadata(
+        "chengdu-2peak/served_rate",
+        format!("{:.4}", peak.served_rate),
+    );
+    c.metadata("chengdu-2peak/unified_cost", peak.unified_cost);
 
     let mut group = c.benchmark_group("congestion");
     group.sample_size(10);

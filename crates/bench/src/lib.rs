@@ -1,9 +1,17 @@
 //! Experiment harness shared by the `experiments` binary and the
 //! criterion benches: scenario caching, cell execution, and the
 //! fixed-width tables that mirror the paper's figure panels.
-#![forbid(unsafe_code)]
+//!
+//! `unsafe` is forbidden except under the `alloc-count` feature, whose
+//! counting [`std::alloc::GlobalAlloc`] shim necessarily is an unsafe
+//! trait impl; the feature keeps it out of every default build and
+//! `alloc_track` confines it to a single pass-through impl.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_track;
 pub mod fixtures;
 pub mod harness;
 pub mod table;

@@ -314,21 +314,25 @@ mod tests {
             &mut self,
             state: &mut PlatformState,
             r: &Request,
-        ) -> Vec<(RequestId, Outcome)> {
+        ) -> urpsm_core::planner::PlannerReplies {
             if self.next.is_none() {
                 self.next = Some(r.release + self.epoch);
             }
             state.reject(r);
-            vec![(r.id, Outcome::Rejected)]
+            urpsm_core::planner::reply_one(r.id, Outcome::Rejected)
         }
-        fn on_time(&mut self, _state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+        fn on_time(
+            &mut self,
+            _state: &mut PlatformState,
+            now: Time,
+        ) -> urpsm_core::planner::PlannerReplies {
             self.wakeups.push(now);
             self.next = None;
-            Vec::new()
+            urpsm_core::planner::PlannerReplies::new()
         }
-        fn flush(&mut self, _state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+        fn flush(&mut self, _state: &mut PlatformState) -> urpsm_core::planner::PlannerReplies {
             self.flushed = true;
-            Vec::new()
+            urpsm_core::planner::PlannerReplies::new()
         }
         fn next_wakeup(&self) -> Option<Time> {
             self.next

@@ -35,6 +35,7 @@
 use road_network::congestion::TravelTimeProvider;
 use road_network::oracle::DistanceOracle;
 use road_network::{cost_add, Cost, VertexId, INF};
+use smallvec::SmallVec;
 use urpsm_core::platform::PlatformState;
 use urpsm_core::types::{Time, WorkerId};
 
@@ -43,8 +44,9 @@ use urpsm_core::types::{Time, WorkerId};
 pub struct WorkerMotion {
     /// `(vertex, arrival time, cumulative free-flow offset)` along the
     /// current leg, inclusive of both endpoints. Empty = nothing
-    /// cached.
-    path: Vec<(VertexId, Time, Cost)>,
+    /// cached. Inline up to 16 triples: urban legs are a handful of
+    /// vertices, so the common expansion never touches the heap.
+    path: SmallVec<(VertexId, Time, Cost), 16>,
     /// Index of the last position the worker was snapped to.
     cursor: usize,
     /// Cache key: `(l_0 at expansion, l_1, arr[1])`.
@@ -396,8 +398,8 @@ mod tests {
         state.commit_reordered(
             WorkerId(0),
             &r,
-            stops,
-            vec![road_network::INF, 200],
+            &stops,
+            &[road_network::INF, 200],
             road_network::INF + 200,
         );
         assert!(state.agent(WorkerId(0)).route.arr(1) >= road_network::INF);

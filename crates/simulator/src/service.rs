@@ -30,7 +30,7 @@ use road_network::fxhash::FxHashMap;
 use road_network::oracle::DistanceOracle;
 use road_network::Cost;
 use urpsm_core::event::{PlatformEvent, ReassignPolicy, WorkerChange};
-use urpsm_core::planner::Planner;
+use urpsm_core::planner::{Planner, PlannerReplies};
 use urpsm_core::platform::{CancelOutcome, HandoffTicket, Outcome, PlatformState};
 use urpsm_core::types::{Request, RequestId, StopKind, Time, Worker, WorkerId};
 
@@ -347,7 +347,7 @@ impl<'p> MobilityService<'p> {
     }
 
     /// Logs planner outcomes and updates the served/rejected tallies.
-    fn record(&mut self, outs: Vec<(RequestId, Outcome)>, t: Time) {
+    fn record(&mut self, outs: PlannerReplies, t: Time) {
         for (rid, out) in outs {
             match out {
                 Outcome::Assigned { worker, delta } => {

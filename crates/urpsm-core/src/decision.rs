@@ -16,6 +16,7 @@ use road_network::Cost;
 use crate::exec::{IndexFeed, WorkPool};
 use crate::lower_bound::insertion_lower_bound;
 use crate::platform::{FleetView, PlatformState};
+use crate::shortlist::LowerBoundSink;
 use crate::types::{Request, WorkerId};
 
 /// Output of the decision phase.
@@ -40,13 +41,16 @@ impl DecisionOutcome {
 /// The one Algo. 4 inner loop every scan shares: compute `LBΔ*` for
 /// each yielded worker and append survivors to `out`. Sequential and
 /// parallel decision phases (and the fused planner) all call this, so
-/// the lower-bound filter can never diverge between them.
-pub(crate) fn collect_lower_bounds(
+/// the lower-bound filter can never diverge between them. Generic over
+/// the sink so the planner engines can fill their reusable SoA
+/// [`crate::shortlist::Shortlist`] with the very same loop that builds
+/// the public `Vec`-based [`DecisionOutcome`].
+pub(crate) fn collect_lower_bounds<S: LowerBoundSink>(
     view: FleetView<'_>,
     r: &Request,
     direct: Cost,
     workers: impl Iterator<Item = WorkerId>,
-    out: &mut Vec<(Cost, WorkerId)>,
+    out: &mut S,
 ) {
     for w in workers {
         let agent = view.agent(w);
@@ -57,7 +61,7 @@ pub(crate) fn collect_lower_bounds(
             direct,
             view.oracle(),
         ) {
-            out.push((lb, w));
+            out.push_bound(lb, w);
         }
     }
 }
@@ -133,13 +137,21 @@ pub(crate) fn finish(
     mut lower_bounds: Vec<(Cost, WorkerId)>,
 ) -> DecisionOutcome {
     lower_bounds.sort_unstable();
-    let reject = match lower_bounds.first() {
-        None => true,
-        Some((min_lb, _)) => r.penalty < alpha.saturating_mul(*min_lb),
-    };
+    let reject = economic_reject(alpha, r, lower_bounds.first().map(|(lb, _)| *lb));
     DecisionOutcome {
         lower_bounds,
         reject,
+    }
+}
+
+/// The economic rejection test of Algo. 4, shared by the `Vec`-based
+/// [`finish`] and the planner engines' SoA shortlist path: reject when
+/// no worker can serve at all, or when `p_r < α · min LB` — serving
+/// could only ever cost more than rejecting.
+pub(crate) fn economic_reject(alpha: u64, r: &Request, min_lb: Option<Cost>) -> bool {
+    match min_lb {
+        None => true,
+        Some(min_lb) => r.penalty < alpha.saturating_mul(min_lb),
     }
 }
 

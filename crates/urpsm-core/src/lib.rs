@@ -43,6 +43,7 @@ pub mod objective;
 pub mod planner;
 pub mod platform;
 pub mod route;
+pub(crate) mod shortlist;
 pub mod types;
 
 /// Commonly used items.

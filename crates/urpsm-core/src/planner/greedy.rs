@@ -27,14 +27,16 @@
 use road_network::oracle::DistanceOracle;
 use road_network::{Cost, INF};
 
-use crate::decision::decision_phase_with;
+use crate::decision::{collect_lower_bounds, economic_reject};
 use crate::exec::{AtomicMin, IndexFeed, WorkPool};
-use crate::insertion::{linear_dp_insertion_with, InsertionScratch};
+use crate::insertion::linear_dp_insertion_with;
 use crate::platform::{FleetView, Outcome, PlatformState};
 use crate::route::InsertionPlan;
-use crate::types::{Request, RequestId, WorkerId};
+use crate::shortlist::Shortlist;
+use crate::types::{Request, WorkerId};
 
-use super::{Planner, PlannerConfig};
+use super::scratch::PlanScratch;
+use super::{reply_one, Planner, PlannerConfig, PlannerReplies};
 
 /// Minimum shortlisted candidates per fan-out thread: the effective
 /// width is `min(threads, candidates / MIN_CANDIDATES_PER_THREAD)`, so
@@ -51,9 +53,12 @@ type Best = Option<(Cost, WorkerId, InsertionPlan)>;
 struct DpEngine {
     cfg: PlannerConfig,
     pool: WorkPool,
-    /// One scratch per pool thread (index 0 doubles as the sequential
-    /// scratch), grown on demand.
-    scratches: Vec<InsertionScratch>,
+    /// One planning arena per pool thread (index 0 doubles as the
+    /// sequential scratch), grown on demand. Holds the SoA candidate
+    /// shortlist, the DP distance columns, and the congestion probe
+    /// route — everything a steady-state planned insertion needs, so
+    /// the hot path never allocates (gated by `benches/alloc.rs`).
+    scratches: Vec<PlanScratch>,
     candidates: Vec<WorkerId>,
 }
 
@@ -68,7 +73,7 @@ impl DpEngine {
         DpEngine {
             cfg,
             pool: WorkPool::new(cfg.threads),
-            scratches: vec![InsertionScratch::default()],
+            scratches: vec![PlanScratch::default()],
             candidates: Vec::new(),
         }
     }
@@ -120,30 +125,25 @@ impl DpEngine {
                 &*oracle,
             )
         } else {
-            // Narrow shortlist: both phases sequential. A serial pool
-            // is passed explicitly — the width heuristic above already
-            // decided fan-out doesn't pay for this request, so the
-            // decision phase must not spawn on its own either.
-            let decision = decision_phase_with(
-                &WorkPool::default(),
-                cfg.alpha,
+            // Narrow shortlist: both phases sequential, on the scratch-
+            // resident SoA shortlist — the same lower-bound loop, sort
+            // order, and economic gate as `decision_phase`, with every
+            // buffer `clear()`-reused instead of freshly allocated.
+            let scratch = &mut scratches[0];
+            scratch.shortlist.clear();
+            collect_lower_bounds(
                 state.view(),
-                candidates,
                 r,
                 direct,
+                candidates.iter().copied(),
+                &mut scratch.shortlist,
             );
-            if decision.reject {
+            scratch.shortlist.sort_by_bound();
+            if economic_reject(cfg.alpha, r, scratch.shortlist.min_lb()) {
                 state.reject(r);
                 return Outcome::Rejected;
             }
-            probe_sequential(
-                &mut scratches[0],
-                prune,
-                state.view(),
-                r,
-                &decision.lower_bounds,
-                &*oracle,
-            )
+            probe_sequential(scratch, prune, state.view(), r, &*oracle)
         };
 
         match best {
@@ -164,17 +164,24 @@ impl DpEngine {
     }
 }
 
-/// The sequential planning phase — Algo. 5's loop, verbatim.
+/// The sequential planning phase — Algo. 5's loop, verbatim, scanning
+/// the scratch-resident shortlist in ascending `(LB, worker)` order.
 fn probe_sequential(
-    scratch: &mut InsertionScratch,
+    scratch: &mut PlanScratch,
     prune: bool,
     view: FleetView<'_>,
     r: &Request,
-    lbs: &[(Cost, WorkerId)],
     oracle: &dyn DistanceOracle,
 ) -> Best {
+    let PlanScratch {
+        shortlist,
+        insertion,
+        probe,
+        ..
+    } = scratch;
     let mut best: Best = None;
-    for &(lb, w) in lbs {
+    for rank in 0..shortlist.len() {
+        let (lb, w) = shortlist.get(rank);
         if prune {
             // Lemma 8: every remaining worker's exact Δ* is at
             // least its LB, which already exceeds the best found.
@@ -186,16 +193,18 @@ fn probe_sequential(
         }
         let agent = view.agent(w);
         if let Some(plan) =
-            linear_dp_insertion_with(scratch, &agent.route, agent.worker.capacity, r, oracle)
+            linear_dp_insertion_with(insertion, &agent.route, agent.worker.capacity, r, oracle)
         {
             // Free-flow plans are optimistic under a congestion
             // profile: re-check the stretched schedule before letting
             // the candidate compete (DESIGN.md §7). Free-flow and
-            // flat-profile runs skip this branch entirely.
+            // flat-profile runs skip this branch entirely. The probe
+            // route is scratch storage — `clone_from` reuses its
+            // buffers instead of cloning afresh.
             if agent.route.time_dependent()
                 && !agent
                     .route
-                    .insertion_feasible(&plan, r, agent.worker.capacity)
+                    .insertion_feasible_with(probe, &plan, r, agent.worker.capacity)
             {
                 continue;
             }
@@ -245,7 +254,7 @@ fn probe_sequential(
 #[allow(clippy::too_many_arguments)]
 fn plan_fused_parallel(
     pool: &WorkPool,
-    scratches: &mut Vec<InsertionScratch>,
+    scratches: &mut Vec<PlanScratch>,
     alpha: u64,
     prune: bool,
     view: FleetView<'_>,
@@ -270,46 +279,54 @@ fn plan_fused_parallel(
 
     let threads = pool.threads();
     if scratches.len() < threads {
-        scratches.resize_with(threads, InsertionScratch::default);
+        scratches.resize_with(threads, PlanScratch::default);
     }
     let lb_feed = IndexFeed::new(candidates.len());
     let collected: Mutex<Vec<(Cost, WorkerId)>> = Mutex::new(Vec::with_capacity(candidates.len()));
     let barrier = Barrier::new(threads);
-    // What the barrier leader publishes: the decision outcome plus the
-    // probe feed over its sorted `(LBΔ*, worker)` list.
-    type Merged = (crate::decision::DecisionOutcome, IndexFeed);
+    // What the barrier leader publishes: the merged SoA shortlist in
+    // ascending `(LBΔ*, worker)` order, the economic-gate verdict, and
+    // the probe feed over the sorted order.
+    type Merged = (Shortlist, bool, IndexFeed);
     let merged: OnceLock<Merged> = OnceLock::new();
     let bound = AtomicMin::new();
 
     let locals: Vec<Result<Best, Panic>> =
         pool.run_with(&mut scratches[..threads], |_, scratch| {
+            let PlanScratch {
+                lbs: local_lbs,
+                insertion,
+                probe,
+                ..
+            } = scratch;
             // Phase 1 (Algo. 4): every candidate's lower bound — the same
-            // `collect_lower_bounds` loop as the sequential decision phase.
+            // `collect_lower_bounds` loop as the sequential decision
+            // phase, collected into this thread's reusable scratch list.
             let phase1 = catch_unwind(AssertUnwindSafe(|| {
-                let mut local_lbs: Vec<(Cost, WorkerId)> = Vec::new();
-                crate::decision::collect_lower_bounds(
+                local_lbs.clear();
+                collect_lower_bounds(
                     view,
                     r,
                     direct,
                     std::iter::from_fn(|| lb_feed.next().map(|i| candidates[i])),
-                    &mut local_lbs,
+                    local_lbs,
                 );
                 if !local_lbs.is_empty() {
-                    lock_lbs(&collected).append(&mut local_lbs);
+                    lock_lbs(&collected).append(local_lbs);
                 }
             }));
             // Merge point: one leader sorts and applies the economic gate —
-            // `decision::finish`, the sequential tail, verbatim.
+            // the same `(LB, worker)` total order and `p_r < α · min LB`
+            // test as the sequential tail (`decision::finish`).
             if barrier.wait().is_leader() {
                 let merge = catch_unwind(AssertUnwindSafe(|| {
                     let lbs = std::mem::take(&mut *lock_lbs(&collected));
-                    let outcome = crate::decision::finish(alpha, r, lbs);
-                    let feed = IndexFeed::new(if outcome.reject {
-                        0
-                    } else {
-                        outcome.lower_bounds.len()
-                    });
-                    if merged.set((outcome, feed)).is_err() {
+                    let mut shortlist = Shortlist::new();
+                    shortlist.extend_from_pairs(&lbs);
+                    shortlist.sort_by_bound();
+                    let reject = economic_reject(alpha, r, shortlist.min_lb());
+                    let feed = IndexFeed::new(if reject { 0 } else { shortlist.len() });
+                    if merged.set((shortlist, reject, feed)).is_err() {
                         unreachable!("exactly one barrier leader");
                     }
                 }));
@@ -320,27 +337,26 @@ fn plan_fused_parallel(
             }
             barrier.wait();
             phase1?;
-            let Some((decision, probe_feed)) = merged.get() else {
+            let Some((shortlist, reject, probe_feed)) = merged.get() else {
                 // The leader died before publishing; its Err carries the
                 // panic, everyone else just goes home empty-handed.
                 return Ok(None);
             };
-            if decision.reject {
+            if *reject {
                 return Ok(None);
             }
             // Phase 2 (Algo. 5 lines 6–10): ascending-LB probes under the
             // shared bound. Past the barriers a plain panic is safe again —
             // the scope join propagates it.
-            let lbs = &decision.lower_bounds;
             let mut local: Best = None;
             while let Some(i) = probe_feed.next() {
-                let (lb, w) = lbs[i];
+                let (lb, w) = shortlist.get(i);
                 if prune && bound.get() < lb {
                     break;
                 }
                 let agent = view.agent(w);
                 if let Some(plan) = linear_dp_insertion_with(
-                    scratch,
+                    insertion,
                     &agent.route,
                     agent.worker.capacity,
                     r,
@@ -353,9 +369,12 @@ fn plan_fused_parallel(
                     // argument goes through verbatim with "Δ" read as
                     // "feasible Δ" (DESIGN.md §7).
                     if agent.route.time_dependent()
-                        && !agent
-                            .route
-                            .insertion_feasible(&plan, r, agent.worker.capacity)
+                        && !agent.route.insertion_feasible_with(
+                            probe,
+                            &plan,
+                            r,
+                            agent.worker.capacity,
+                        )
                     {
                         continue;
                     }
@@ -425,8 +444,8 @@ impl Planner for PruneGreedyDp {
         "pruneGreedyDP"
     }
 
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
-        vec![(r.id, self.engine.handle(true, state, r))]
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
+        reply_one(r.id, self.engine.handle(true, state, r))
     }
 
     fn set_threads(&mut self, threads: usize) {
@@ -473,8 +492,8 @@ impl Planner for GreedyDp {
         "GreedyDP"
     }
 
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
-        vec![(r.id, self.engine.handle(false, state, r))]
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
+        reply_one(r.id, self.engine.handle(false, state, r))
     }
 
     fn set_threads(&mut self, threads: usize) {
@@ -488,7 +507,7 @@ impl Planner for GreedyDp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{Time, Worker};
+    use crate::types::{RequestId, Time, Worker};
     use road_network::geo::Point;
     use road_network::matrix::MatrixOracle;
     use road_network::oracle::CountingOracle;

@@ -17,12 +17,29 @@
 //! the same trait in the `urpsm-baselines` crate.
 
 mod greedy;
+mod scratch;
 
 pub use greedy::{GreedyDp, PruneGreedyDp};
+
+use smallvec::SmallVec;
 
 use crate::event::WorkerChange;
 use crate::platform::{Outcome, PlatformState};
 use crate::types::{Request, RequestId, Time};
+
+/// Outcome list returned by the planner callbacks. Immediate planners
+/// answer with exactly one `(request, outcome)` pair and batch
+/// planners usually with zero (buffering) or a small epoch burst, so
+/// the list is inline up to two entries — the common cases never touch
+/// the heap, which keeps the planned-insertion hot path
+/// allocation-free (see `benches/alloc.rs` in `urpsm-bench`). Larger
+/// bursts (epoch flushes) spill to the heap transparently.
+pub type PlannerReplies = SmallVec<(RequestId, Outcome), 2>;
+
+/// A single-reply list: the immediate planners' unit answer.
+pub fn reply_one(r: RequestId, outcome: Outcome) -> PlannerReplies {
+    SmallVec::from_slice(&[(r, outcome)])
+}
 
 /// Shared planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,18 +101,18 @@ pub trait Planner: Send {
 
     /// Handles a newly released request. May return outcomes for this
     /// request and/or buffered earlier ones (batch planners defer).
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)>;
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies;
 
     /// Notifies the planner that simulation time advanced to `now`
     /// (batch planners flush epochs here). Default: no-op.
-    fn on_time(&mut self, _state: &mut PlatformState, _now: Time) -> Vec<(RequestId, Outcome)> {
-        Vec::new()
+    fn on_time(&mut self, _state: &mut PlatformState, _now: Time) -> PlannerReplies {
+        PlannerReplies::new()
     }
 
     /// Called once after the final request; planners with buffers must
     /// drain them. Default: no-op.
-    fn flush(&mut self, _state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
-        Vec::new()
+    fn flush(&mut self, _state: &mut PlatformState) -> PlannerReplies {
+        PlannerReplies::new()
     }
 
     /// The next time this planner wants an [`Planner::on_time`] call
@@ -137,13 +154,13 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
         (**self).on_request(state, r)
     }
-    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> PlannerReplies {
         (**self).on_time(state, now)
     }
-    fn flush(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+    fn flush(&mut self, state: &mut PlatformState) -> PlannerReplies {
         (**self).flush(state)
     }
     fn next_wakeup(&self) -> Option<Time> {
@@ -168,13 +185,13 @@ impl<P: Planner + ?Sized> Planner for &mut P {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> Vec<(RequestId, Outcome)> {
+    fn on_request(&mut self, state: &mut PlatformState, r: &Request) -> PlannerReplies {
         (**self).on_request(state, r)
     }
-    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> Vec<(RequestId, Outcome)> {
+    fn on_time(&mut self, state: &mut PlatformState, now: Time) -> PlannerReplies {
         (**self).on_time(state, now)
     }
-    fn flush(&mut self, state: &mut PlatformState) -> Vec<(RequestId, Outcome)> {
+    fn flush(&mut self, state: &mut PlatformState) -> PlannerReplies {
         (**self).flush(state)
     }
     fn next_wakeup(&self) -> Option<Time> {

@@ -108,7 +108,12 @@ pub struct HandoffTicket {
 }
 
 /// Per-request outcome reported by planners.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Default` is [`Outcome::Rejected`] — never observed as a value, it
+/// only exists so `(RequestId, Outcome)` pairs can live inline in the
+/// planners' allocation-free reply vector
+/// ([`crate::planner::PlannerReplies`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// The request was inserted into `worker`'s route at cost `delta`.
     Assigned {
@@ -118,6 +123,7 @@ pub enum Outcome {
         delta: Cost,
     },
     /// The request was rejected (penalty `p_r` accrues).
+    #[default]
     Rejected,
 }
 
@@ -342,8 +348,8 @@ impl PlatformState {
         &mut self,
         w: WorkerId,
         r: &Request,
-        stops: Vec<Stop>,
-        legs: Vec<Cost>,
+        stops: &[Stop],
+        legs: &[Cost],
         delta: Cost,
     ) {
         let agent = &mut self.agents[w.idx()];
@@ -391,6 +397,23 @@ impl PlatformState {
     /// Records a rejection (irrevocable; the penalty accrues).
     pub fn reject(&mut self, r: &Request) {
         self.rejected.push((r.id, r.penalty));
+    }
+
+    /// Pre-reserves every container that grows when requests are
+    /// decided or completed (assignment map, completion set, rejection
+    /// and cancellation logs, per-worker assignment histories) for `n`
+    /// further requests. Decision-making itself is allocation-free in
+    /// steady state; this moves the *bookkeeping* growth up front too,
+    /// which is what lets the allocation-gated bench pin a planned
+    /// insertion at zero allocations end to end.
+    pub fn reserve_request_capacity(&mut self, n: usize) {
+        self.assignment.reserve(n);
+        self.completed.reserve(n);
+        self.rejected.reserve(n);
+        self.cancelled.reserve(n);
+        for agent in &mut self.agents {
+            agent.assigned_requests.reserve(n);
+        }
     }
 
     /// Number of served (assigned) requests so far.

@@ -22,8 +22,25 @@ use std::sync::Arc;
 
 use road_network::congestion::TravelTimeProvider;
 use road_network::{cost_add, Cost, VertexId, INF};
+use smallvec::SmallVec;
 
 use crate::types::{Request, RequestId, Stop, StopKind, Time};
+
+/// Inline capacity of the stop array: 8 stops = 4 pooled requests per
+/// vehicle, which covers the common case at the paper's capacities
+/// (Table 5 sweeps `K_w` around 4; even capacity 20 workers rarely
+/// carry 8 *pending* stops at once). Longer routes spill to the heap
+/// and keep working — the inline size is a fast path, not a limit.
+pub const ROUTE_INLINE_STOPS: usize = 8;
+
+/// The schedule arrays hold `n + 1` entries (location `l_0` plus `n`
+/// stops), so they get one slot more than the stop array.
+const ROUTE_INLINE_SCHED: usize = ROUTE_INLINE_STOPS + 1;
+
+/// Inline-capacity storage for the stop sequence.
+pub(crate) type StopArray = SmallVec<Stop, ROUTE_INLINE_STOPS>;
+/// Inline-capacity storage for the per-location schedule arrays.
+pub(crate) type SchedArray<T> = SmallVec<T, ROUTE_INLINE_SCHED>;
 
 /// How the two new stops sit in the old route; carries the leg costs the
 /// commit needs so no shortest-distance query is repeated (§5.3).
@@ -96,24 +113,57 @@ pub struct InsertionPlan {
 /// position 0, a pop, a cancellation bridging the first stop, a tail
 /// replacement, a teleport) clears the freeze and re-integrates from
 /// the new leg start, which is always a vertex at a known time.
-#[derive(Clone)]
 pub struct Route {
     start_vertex: VertexId,
     /// `arr[0]`: the time the worker is (or will be) at `start_vertex`.
     start_time: Time,
     /// `picked[0]`: passengers/items currently on board.
     initial_load: u32,
-    stops: Vec<Stop>,
-    arr: Vec<Time>,
-    slack: Vec<Cost>,
-    picked: Vec<u32>,
+    stops: StopArray,
+    arr: SchedArray<Time>,
+    slack: SchedArray<Cost>,
+    picked: SchedArray<u32>,
     /// `leg[k] = dis(l_{k-1}, l_k)` for `k ≥ 1`; `leg[0] = 0`.
-    leg: Vec<Cost>,
+    leg: SchedArray<Cost>,
     /// Departure-time-aware travel times; `None` = free flow.
     congestion: Option<Arc<dyn TravelTimeProvider>>,
     /// Frozen head-leg travel time after a mid-leg snap (see the type
     /// docs). Invariant while set: `arr[1] = arr[0] + head_time`.
     head_time: Option<Cost>,
+}
+
+// Manual `Clone` so `clone_from` reuses the destination's buffers: a
+// planner's probe route is `clone_from`-ed once per candidate plan,
+// and with inline arrays (or retained heap capacity after a spill)
+// that copy allocates nothing.
+impl Clone for Route {
+    fn clone(&self) -> Self {
+        Route {
+            start_vertex: self.start_vertex,
+            start_time: self.start_time,
+            initial_load: self.initial_load,
+            stops: self.stops.clone(),
+            arr: self.arr.clone(),
+            slack: self.slack.clone(),
+            picked: self.picked.clone(),
+            leg: self.leg.clone(),
+            congestion: self.congestion.clone(),
+            head_time: self.head_time,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.start_vertex = source.start_vertex;
+        self.start_time = source.start_time;
+        self.initial_load = source.initial_load;
+        self.stops.clone_from(&source.stops);
+        self.arr.clone_from(&source.arr);
+        self.slack.clone_from(&source.slack);
+        self.picked.clone_from(&source.picked);
+        self.congestion.clone_from(&source.congestion);
+        self.leg.clone_from(&source.leg);
+        self.head_time = source.head_time;
+    }
 }
 
 // The provider is *context*, not state: two routes with the same
@@ -155,6 +205,15 @@ impl std::fmt::Debug for Route {
     }
 }
 
+/// A degenerate empty route (worker at vertex 0, time 0). Exists so
+/// probe scratch buffers can be constructed before any real route is
+/// known; `clone_from` overwrites every field before first use.
+impl Default for Route {
+    fn default() -> Self {
+        Route::new(VertexId(0), 0)
+    }
+}
+
 impl Route {
     /// An empty route for a worker standing at `start` at `time`.
     pub fn new(start: VertexId, time: Time) -> Self {
@@ -162,11 +221,11 @@ impl Route {
             start_vertex: start,
             start_time: time,
             initial_load: 0,
-            stops: Vec::new(),
-            arr: vec![time],
-            slack: vec![INF],
-            picked: vec![0],
-            leg: vec![0],
+            stops: StopArray::new(),
+            arr: SchedArray::from_slice(&[time]),
+            slack: SchedArray::from_slice(&[INF]),
+            picked: SchedArray::from_slice(&[0]),
+            leg: SchedArray::from_slice(&[0]),
             congestion: None,
             head_time: None,
         }
@@ -450,7 +509,7 @@ impl Route {
                 // Old leg l_i → l_{i+1} becomes three legs.
                 self.leg[i + 1] = dis_prev_pickup;
                 self.leg
-                    .splice(i + 2..i + 2, [plan.direct, dis_delivery_next]);
+                    .insert_from_slice(i + 2, &[plan.direct, dis_delivery_next]);
             }
             PlanShape::Split {
                 dis_prev_pickup,
@@ -461,14 +520,14 @@ impl Route {
                 assert!(i < j, "Split shape requires i < j");
                 self.stops.insert(i, pickup);
                 self.leg[i + 1] = dis_prev_pickup;
-                self.leg.splice(i + 2..i + 2, [dis_pickup_next]);
+                self.leg.insert(i + 2, dis_pickup_next);
                 // After the pickup splice, old position j sits at stop
                 // index j, i.e. the leg into l_{j+1} is leg[j + 2].
                 self.stops.insert(j + 1, delivery);
                 if j < n {
                     self.leg[j + 2] = dis_prev_delivery;
                     if let Some(next) = dis_delivery_next {
-                        self.leg.splice(j + 3..j + 3, [next]);
+                        self.leg.insert(j + 3, next);
                     } else {
                         panic!("Split with j < n needs dis_delivery_next");
                     }
@@ -507,8 +566,9 @@ impl Route {
         }
         let before = self.remaining_distance();
         // Positions (1-based, the paper's `l_k` indexing) of the stops
-        // to remove; reverse order keeps earlier indices valid.
-        let positions: Vec<usize> = self
+        // to remove; reverse order keeps earlier indices valid. At most
+        // a pickup and a delivery, so two inline slots suffice.
+        let positions: SmallVec<usize, 2> = self
             .stops
             .iter()
             .enumerate()
@@ -547,11 +607,12 @@ impl Route {
     /// every previously committed request on the route (the
     /// invariability constraint); [`Route::validate`] plus the platform
     /// layer enforce this in debug builds.
-    pub fn replace_tail(&mut self, stops: Vec<Stop>, legs: Vec<Cost>) {
+    pub fn replace_tail(&mut self, stops: &[Stop], legs: &[Cost]) {
         assert_eq!(stops.len(), legs.len(), "one leg per stop");
-        self.stops = stops;
+        self.stops.clear();
+        self.stops.extend_from_slice(stops);
         self.leg.truncate(1); // keep leg[0] = 0 sentinel
-        self.leg.extend(legs);
+        self.leg.extend_from_slice(legs);
         self.head_time = None;
         self.rebuild();
     }
@@ -565,8 +626,31 @@ impl Route {
     /// touches no oracle.
     pub fn insertion_feasible(&self, plan: &InsertionPlan, r: &Request, capacity: u32) -> bool {
         let mut probe = self.clone();
+        self.insertion_feasible_with(&mut probe, plan, r, capacity)
+    }
+
+    /// [`Route::insertion_feasible`] with a caller-supplied probe route
+    /// (`PlanScratch::probe`): `probe` is overwritten via `clone_from`,
+    /// so a probe reused across candidates reaches a steady state where
+    /// the whole check allocates nothing.
+    ///
+    /// Equivalent to `clone + apply_insertion + validate` for every
+    /// input the planners produce: the base route is a committed —
+    /// hence valid — route and `apply_insertion` inserts a fresh
+    /// request's pickup strictly before its delivery without reordering
+    /// anything, so the precedence half of [`Route::validate`] holds by
+    /// construction and only the schedule half
+    /// ([`Route::schedule_feasible`]) needs re-checking.
+    pub fn insertion_feasible_with(
+        &self,
+        probe: &mut Route,
+        plan: &InsertionPlan,
+        r: &Request,
+        capacity: u32,
+    ) -> bool {
+        probe.clone_from(self);
         probe.apply_insertion(plan, r);
-        probe.validate(capacity).is_ok()
+        probe.schedule_feasible(capacity)
     }
 
     /// Whether replacing the pending tail with `stops`/`legs` keeps the
@@ -575,8 +659,48 @@ impl Route {
     /// (kinetic tree).
     pub fn tail_feasible(&self, stops: &[Stop], legs: &[Cost], capacity: u32) -> bool {
         let mut probe = self.clone();
-        probe.replace_tail(stops.to_vec(), legs.to_vec());
+        self.tail_feasible_with(&mut probe, stops, legs, capacity)
+    }
+
+    /// [`Route::tail_feasible`] with a caller-supplied probe route —
+    /// the kinetic planner's scratch-reuse variant. Re-ordering *can*
+    /// permute stops, so this one keeps the full [`Route::validate`]
+    /// (its precedence pass allocates a small map; the kinetic search
+    /// allocates far more per call, so the gate is not the bottleneck).
+    pub fn tail_feasible_with(
+        &self,
+        probe: &mut Route,
+        stops: &[Stop],
+        legs: &[Cost],
+        capacity: u32,
+    ) -> bool {
+        probe.clone_from(self);
+        probe.replace_tail(stops, legs);
         probe.validate(capacity).is_ok()
+    }
+
+    /// The schedule half of [`Route::validate`]: deadlines and capacity
+    /// straight off the `arr`/`picked` arrays, no precedence pass, no
+    /// allocation. Sound on its own whenever the stop *sequence* is
+    /// known valid — which is the case after `apply_insertion` on a
+    /// committed route (see [`Route::insertion_feasible_with`]).
+    pub fn schedule_feasible(&self, worker_capacity: u32) -> bool {
+        if self.initial_load > worker_capacity {
+            return false;
+        }
+        for k in 1..=self.stops.len() {
+            if self.arr[k] > self.stops[k - 1].ddl || self.picked[k] > worker_capacity {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates the route's locations `l_0, l_1, …, l_n` (the start
+    /// vertex followed by every stop's vertex) without collecting —
+    /// the borrow-only twin of calling [`Route::vertex`] in a loop.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        std::iter::once(self.start_vertex).chain(self.stops.iter().map(|s| s.vertex))
     }
 
     /// Full `O(n)` feasibility re-check (Def. 4), used by tests and the
@@ -854,7 +978,7 @@ mod tests {
             },
             &r3,
         );
-        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        let verts: Vec<u32> = route.vertices().map(|v| v.0).collect();
         assert_eq!(verts, vec![0, 1, 7, 2, 3, 8, 4]);
         assert_eq!(route.leg(2), 5); // v1 → o_r3
         assert_eq!(route.leg(3), 6); // o_r3 → v2
@@ -994,7 +1118,7 @@ mod tests {
         // freed (no detour), and the arrays stay consistent.
         let freed = route.remove_request(RequestId(2), dis).expect("pending");
         assert_eq!(freed, 0);
-        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        let verts: Vec<u32> = route.vertices().map(|v| v.0).collect();
         assert_eq!(verts, vec![0, 2, 10]);
         assert_eq!(route.leg(2), 80);
         assert!(route.validate(1).is_ok());
@@ -1070,7 +1194,7 @@ mod tests {
         // re-bridges from the start vertex.
         let freed = route.remove_request(RequestId(2), dis).expect("pending");
         assert_eq!(freed, 30); // 90 planned, 60 remain (0→5→6)
-        let verts: Vec<u32> = (0..=route.len()).map(|k| route.vertex(k).0).collect();
+        let verts: Vec<u32> = route.vertices().map(|v| v.0).collect();
         assert_eq!(verts, vec![0, 5, 6]);
         assert_eq!(route.leg(1), 50);
         assert!(route.validate(1).is_ok());

@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 pub type Time = u64;
 
 /// Identifier of a worker (driver / courier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -26,7 +28,9 @@ impl std::fmt::Display for WorkerId {
 }
 
 /// Identifier of a request (rider / parcel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct RequestId(pub u32);
 
 impl RequestId {
@@ -85,9 +89,12 @@ impl Request {
 }
 
 /// What a stop on a route does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum StopKind {
     /// Pick the request's passengers/items up at its origin.
+    #[default]
     Pickup,
     /// Drop them off at its destination.
     Delivery,
@@ -96,7 +103,7 @@ pub enum StopKind {
 /// One location `l_k` of a route (Def. 4): the origin or destination of
 /// an assigned request, plus the cached per-stop data the schedule
 /// arrays of §4.3 are rebuilt from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stop {
     /// The request being picked up / delivered.
     pub request: RequestId,

@@ -21,6 +21,10 @@ pub struct Criterion {
     /// Target wall-clock time for one benchmark's measurement phase.
     measurement: Duration,
     warm_up: Duration,
+    /// `--json <path>`: machine-readable run artifact (BENCH_*.json).
+    json_path: Option<String>,
+    records: Vec<JsonRecord>,
+    meta: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -29,6 +33,9 @@ impl Default for Criterion {
             filter: None,
             measurement: Duration::from_millis(400),
             warm_up: Duration::from_millis(80),
+            json_path: None,
+            records: Vec::new(),
+            meta: Vec::new(),
         }
     }
 }
@@ -48,7 +55,12 @@ impl Criterion {
         let mut c = Criterion::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
-            if WITH_VALUE.contains(&a.as_str()) {
+            if a == "--json" {
+                c.json_path = args.next();
+                if c.json_path.is_none() {
+                    eprintln!("criterion shim: --json requires a path argument");
+                }
+            } else if WITH_VALUE.contains(&a.as_str()) {
                 args.next(); // swallow the value; the shim keeps its own
             } else if a.starts_with('-') {
                 if !VALUELESS.contains(&a.as_str()) {
@@ -82,7 +94,7 @@ impl Criterion {
         self
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, f: &mut F) {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: &mut F) {
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return;
@@ -95,16 +107,86 @@ impl Criterion {
         };
         f(&mut b);
         match b.report {
-            Some(r) => println!(
-                "{id:<56} time: {:>12}/iter  (min {}, max {}, {} iters)",
-                fmt_ns(r.mean_ns),
-                fmt_ns(r.min_ns),
-                fmt_ns(r.max_ns),
-                r.iters
-            ),
+            Some(r) => {
+                println!(
+                    "{id:<56} time: {:>12}/iter  (min {}, max {}, {} iters)",
+                    fmt_ns(r.mean_ns),
+                    fmt_ns(r.min_ns),
+                    fmt_ns(r.max_ns),
+                    r.iters
+                );
+                if self.json_path.is_some() {
+                    self.records.push(JsonRecord {
+                        id: id.to_string(),
+                        report: r,
+                    });
+                }
+            }
             None => println!("{id:<56} (no measurement: Bencher::iter never called)"),
         }
     }
+
+    /// Records a scalar fact about the run (served rate, unified cost,
+    /// allocation counts, …) for the `--json` artifact's `meta`
+    /// object. Not part of upstream criterion; benches use it to ship
+    /// quality numbers alongside timings.
+    pub fn metadata(&mut self, key: impl Into<String>, value: impl Display) {
+        self.meta.push((key.into(), value.to_string()));
+    }
+
+    /// Writes the `--json` artifact, if one was requested. Called by
+    /// [`criterion_main!`] after every group has run; harmless (a
+    /// no-op) without `--json`.
+    pub fn finalize(&mut self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let mut out = String::from("{\n  \"meta\": {\n");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": \"{}\"{}\n",
+                json_escape(k),
+                json_escape(v),
+                if i + 1 == self.meta.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  },\n  \"results\": [\n");
+        for (i, rec) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
+                json_escape(&rec.id),
+                rec.report.mean_ns,
+                rec.report.min_ns,
+                rec.report.max_ns,
+                rec.report.iters,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("criterion shim: wrote {path}"),
+            Err(e) => eprintln!("criterion shim: failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// One measured benchmark for the `--json` artifact.
+struct JsonRecord {
+    id: String,
+    report: Report,
 }
 
 /// A named group of benchmarks sharing a common prefix.
@@ -287,6 +369,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut c = $crate::Criterion::from_args();
             $( $group(&mut c); )+
+            c.finalize();
         }
     };
 }

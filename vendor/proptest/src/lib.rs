@@ -222,6 +222,47 @@ pub mod strategy {
             T::arbitrary(rng)
         }
     }
+
+    /// Always generates a clone of the given value (upstream
+    /// `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut ShimRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies sharing a value
+    /// type — the engine behind [`crate::prop_oneof!`]. (Upstream's
+    /// `Union` supports weights; the shim picks uniformly.)
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `options` per draw.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs an option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut ShimRng) -> T {
+            let i = rng.usize_in(0, self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`OneOf`], driving the value-type
+    /// unification [`crate::prop_oneof!`] relies on.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
 }
 
 /// Types with a canonical "any value" strategy.
@@ -309,9 +350,20 @@ pub mod prelude {
     //! Glob-import surface matching `proptest::prelude`.
 
     pub use crate::collection;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::{any, Arbitrary, ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Chooses uniformly between strategies each draw (upstream
+/// `prop_oneof!`, minus per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
 }
 
 /// Fails the current case with a formatted message (non-fatal to the

@@ -1,0 +1,513 @@
+//! Offline shim for the subset of `smallvec` this workspace uses.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides a dependency-free, `unsafe`-free inline-capacity vector:
+//! the first `N` elements live in the struct itself and only longer
+//! contents spill to the heap. The price of staying safe is the
+//! `T: Copy + Default` bound (the inline array must be constructible
+//! and movable without `MaybeUninit`) — every element type on the
+//! workspace's hot paths is a small `Copy` value, so nothing is lost.
+//!
+//! Allocation behaviour, which is the whole point:
+//!
+//! * contents of length ≤ `N` never touch the heap;
+//! * a spilled buffer is kept (not freed) by [`SmallVec::clear`] and
+//!   [`SmallVec::truncate`], so a scratch value reused across
+//!   iterations reaches a steady state where no operation allocates;
+//! * [`SmallVec::clone_from`] reuses the destination's buffers.
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to a `Vec`
+/// beyond that.
+pub struct SmallVec<T: Copy + Default, const N: usize> {
+    /// Inline storage; live iff `!spilled` (first `len` slots).
+    inline: [T; N],
+    /// Heap storage; live iff `spilled`. Kept allocated (but empty)
+    /// after a shrink back under `N`, so re-spilling is free.
+    heap: Vec<T>,
+    /// Live length. When `spilled`, mirrors `heap.len()`.
+    len: usize,
+    spilled: bool,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec {
+            inline: [T::default(); N],
+            heap: Vec::new(),
+            len: 0,
+            spilled: false,
+        }
+    }
+
+    /// An empty vector with the inline capacity plus room for at least
+    /// `cap` heap elements already allocated (for scratch values that
+    /// are known to spill).
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        if cap > N {
+            v.heap.reserve(cap);
+        }
+        v
+    }
+
+    /// A vector holding a copy of `s`.
+    #[inline]
+    pub fn from_slice(s: &[T]) -> Self {
+        let mut v = Self::new();
+        v.extend_from_slice(s);
+        v
+    }
+
+    /// The compile-time inline capacity `N`.
+    #[inline]
+    pub fn inline_capacity(&self) -> usize {
+        N
+    }
+
+    /// Whether the contents currently live on the heap.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+
+    /// Moves the inline contents to the heap buffer (no-op if already
+    /// spilled). The one place the inline → heap transition happens.
+    fn spill(&mut self) {
+        if !self.spilled {
+            self.heap.clear();
+            self.heap.extend_from_slice(&self.inline[..self.len]);
+            self.spilled = true;
+        }
+    }
+
+    /// Appends `v`.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        if !self.spilled && self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            self.spill();
+            self.heap.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.spilled {
+            self.heap.pop()
+        } else {
+            Some(self.inline[self.len])
+        }
+    }
+
+    /// Inserts `v` at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, v: T) {
+        assert!(index <= self.len, "insert index out of bounds");
+        if !self.spilled && self.len < N {
+            self.inline.copy_within(index..self.len, index + 1);
+            self.inline[index] = v;
+        } else {
+            self.spill();
+            self.heap.insert(index, v);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts all of `s` at `index`, shifting later elements right —
+    /// the `Vec::splice(i..i, ..)` idiom without the iterator plumbing.
+    pub fn insert_from_slice(&mut self, index: usize, s: &[T]) {
+        assert!(index <= self.len, "insert index out of bounds");
+        let m = s.len();
+        if m == 0 {
+            return;
+        }
+        if !self.spilled && self.len + m <= N {
+            self.inline.copy_within(index..self.len, index + m);
+            self.inline[index..index + m].copy_from_slice(s);
+        } else {
+            self.spill();
+            // O(n + m): grow at the tail, then rotate into place.
+            self.heap.extend_from_slice(s);
+            self.heap[index..].rotate_right(m);
+        }
+        self.len += m;
+    }
+
+    /// Removes and returns the element at `index`, shifting later
+    /// elements left.
+    pub fn remove(&mut self, index: usize) -> T {
+        assert!(index < self.len, "remove index out of bounds");
+        if self.spilled {
+            self.len -= 1;
+            self.heap.remove(index)
+        } else {
+            let v = self.inline[index];
+            self.inline.copy_within(index + 1..self.len, index);
+            self.len -= 1;
+            v
+        }
+    }
+
+    /// Shortens to `len` elements (no-op if already shorter). A
+    /// spilled buffer stays spilled — and allocated — so later growth
+    /// does not re-allocate.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            if self.spilled {
+                self.heap.truncate(len);
+            }
+            self.len = len;
+        }
+    }
+
+    /// Empties the vector. Heap capacity (if any) is retained for
+    /// reuse, but the *representation* returns to inline, so a scratch
+    /// value cleared between uses behaves like a fresh one.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.len = 0;
+        self.spilled = false;
+    }
+
+    /// Ensures room for `additional` more elements. A no-op while the
+    /// inline capacity suffices; otherwise spills and reserves on the
+    /// heap buffer.
+    pub fn reserve(&mut self, additional: usize) {
+        if !self.spilled && self.len + additional <= N {
+            return;
+        }
+        self.spill();
+        self.heap.reserve(additional);
+    }
+
+    /// Resizes to `new_len`, filling new slots with `value`.
+    pub fn resize(&mut self, new_len: usize, value: T) {
+        if new_len <= self.len {
+            self.truncate(new_len);
+        } else if !self.spilled && new_len <= N {
+            self.inline[self.len..new_len].fill(value);
+            self.len = new_len;
+        } else {
+            self.spill();
+            self.heap.resize(new_len, value);
+            self.len = new_len;
+        }
+    }
+
+    /// Appends a copy of `s`.
+    pub fn extend_from_slice(&mut self, s: &[T]) {
+        if !self.spilled && self.len + s.len() <= N {
+            self.inline[self.len..self.len + s.len()].copy_from_slice(s);
+        } else {
+            self.spill();
+            self.heap.extend_from_slice(s);
+        }
+        self.len += s.len();
+    }
+
+    /// Extracts the contents as a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+
+    /// Reuses `self`'s buffers: no allocation when the destination's
+    /// heap capacity (or the inline array) already fits `source`.
+    fn clone_from(&mut self, source: &Self) {
+        self.clear();
+        self.extend_from_slice(source.as_slice());
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator (elements are `Copy`, so this just walks the
+/// storage in place).
+pub struct IntoIter<T: Copy + Default, const N: usize> {
+    vec: SmallVec<T, N>,
+    next: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        if self.next < self.vec.len {
+            let v = self.vec.as_slice()[self.next];
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { vec: self, next: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_ops_never_spill() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.insert(1, 9);
+        assert!(v.spilled(), "fifth element must spill");
+        assert_eq!(v.as_slice(), &[0, 9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn insert_remove_match_vec_semantics() {
+        let mut v: SmallVec<u32, 3> = SmallVec::new();
+        let mut model: Vec<u32> = Vec::new();
+        let ops: [(bool, usize, u32); 12] = [
+            (true, 0, 1),
+            (true, 1, 2),
+            (true, 0, 3),
+            (true, 2, 4), // spills here
+            (false, 1, 0),
+            (true, 3, 5),
+            (true, 0, 6),
+            (false, 4, 0),
+            (false, 0, 0),
+            (true, 2, 7),
+            (false, 2, 0),
+            (false, 0, 0),
+        ];
+        for (is_insert, idx, val) in ops {
+            if is_insert {
+                v.insert(idx, val);
+                model.insert(idx, val);
+            } else {
+                assert_eq!(v.remove(idx), model.remove(idx));
+            }
+            assert_eq!(v.as_slice(), model.as_slice());
+        }
+    }
+
+    #[test]
+    fn insert_from_slice_is_splice() {
+        let mut v: SmallVec<u32, 8> = SmallVec::from_slice(&[1, 2, 3]);
+        v.insert_from_slice(1, &[8, 9]);
+        assert_eq!(v.as_slice(), &[1, 8, 9, 2, 3]);
+        assert!(!v.spilled());
+        // Spilling path.
+        let mut v: SmallVec<u32, 4> = SmallVec::from_slice(&[1, 2, 3]);
+        v.insert_from_slice(3, &[7, 8]);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 7, 8]);
+        assert!(v.spilled());
+        v.insert_from_slice(0, &[0]);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 7, 8]);
+        v.insert_from_slice(6, &[]);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn clear_returns_to_inline_but_keeps_capacity() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        let cap = v.heap.capacity();
+        v.clear();
+        assert!(!v.spilled());
+        assert!(v.is_empty());
+        assert_eq!(v.heap.capacity(), cap, "heap buffer must be retained");
+        v.push(1);
+        assert!(!v.spilled());
+    }
+
+    #[test]
+    fn truncate_keeps_spilled_representation() {
+        let mut v: SmallVec<u32, 2> = SmallVec::from_slice(&[1, 2, 3, 4]);
+        assert!(v.spilled());
+        v.truncate(1);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1]);
+        v.truncate(5); // no-op
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn resize_in_both_directions() {
+        let mut v: SmallVec<u32, 3> = SmallVec::new();
+        v.resize(2, 7);
+        assert_eq!(v.as_slice(), &[7, 7]);
+        assert!(!v.spilled());
+        v.resize(5, 8);
+        assert_eq!(v.as_slice(), &[7, 7, 8, 8, 8]);
+        assert!(v.spilled());
+        v.resize(1, 0);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers() {
+        let big: SmallVec<u32, 2> = (0..50).collect();
+        let mut dst: SmallVec<u32, 2> = SmallVec::new();
+        dst.clone_from(&big);
+        assert_eq!(dst, big);
+        let cap = dst.heap.capacity();
+        dst.clone_from(&SmallVec::from_slice(&[1]));
+        assert_eq!(dst.as_slice(), &[1]);
+        assert!(!dst.spilled());
+        dst.clone_from(&big);
+        assert_eq!(dst.heap.capacity(), cap, "no re-allocation on re-spill");
+    }
+
+    #[test]
+    fn iteration_and_equality() {
+        let v: SmallVec<u32, 4> = SmallVec::from_slice(&[3, 1, 4, 1, 5]);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(v.clone().into_iter().collect::<Vec<_>>(), v.to_vec());
+        assert_eq!(v, vec![3, 1, 4, 1, 5]);
+        assert_eq!(v.into_iter().len(), 5);
+    }
+
+    #[test]
+    fn pop_across_the_spill_boundary() {
+        let mut v: SmallVec<u32, 2> = SmallVec::from_slice(&[1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+}

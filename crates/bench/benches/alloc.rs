@@ -200,7 +200,12 @@ mod gated {
     }
 
     fn write_json(path: &str, rows: &[Row]) {
-        let mut out = String::from("{\n  \"bench\": \"alloc\",\n  \"results\": [\n");
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut out = format!(
+            "{{\n  \"bench\": \"alloc\",\n  \"meta\": {{\"available_parallelism\": {cpus}}},\n  \"results\": [\n"
+        );
         for (i, row) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"planner\": \"{}\", \"profile\": \"{}\", \"threads\": {}, \

@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod service;
 pub mod shard_map;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::admission::{Admission, AdmissionConfig, AdmissionController};
     pub use crate::service::{
         shards_from_env, BoundaryPolicy, ShardConfig, ShardReport, ShardedOutcome, ShardedService,
     };

@@ -44,7 +44,7 @@ use urpsm_core::planner::Planner;
 use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
 use urpsm_simulator::engine::{SimConfig, SimOutcome};
 use urpsm_simulator::metrics::SimMetrics;
-use urpsm_simulator::service::{MobilityService, ServiceReply};
+use urpsm_simulator::service::{MobilityService, ServiceCheckpoint, ServiceReply};
 use urpsm_simulator::SimEvent;
 
 use crate::shard_map::ShardMap;
@@ -333,6 +333,43 @@ impl<'p> ShardedService<'p> {
     #[inline]
     pub fn shard_of_vertex(&self, v: VertexId) -> usize {
         self.map.shard_of(self.oracle.point(v))
+    }
+
+    /// Where [`ShardedService::submit`] would route this event right
+    /// now: `Some(shard)` for single-shard events, `None` for
+    /// broadcasts (ticks). The ingestion plane's admission controller
+    /// keys its per-shard queue depths and tick budgets off this
+    /// (DESIGN.md §9) *before* deciding whether to submit at all.
+    ///
+    /// Mirrors `submit`'s fallbacks exactly: a cancellation for a
+    /// not-yet-seen request and a departure for an unknown worker both
+    /// resolve to shard 0, where `submit` would shrug them off.
+    pub fn home_shard(&self, event: &PlatformEvent) -> Option<usize> {
+        match event.routing() {
+            EventRouting::Origin(anchor) => Some(self.shard_of_vertex(anchor)),
+            EventRouting::Request(request) => {
+                Some(self.request_home.get(&request).copied().unwrap_or(0))
+            }
+            EventRouting::Worker(worker) => {
+                Some(self.owner.get(worker.idx()).map(|&(s, _)| s).unwrap_or(0))
+            }
+            EventRouting::Broadcast => None,
+        }
+    }
+
+    /// Cuts a [`ServiceCheckpoint`] over the *merged* event log — the
+    /// same progress fingerprint as
+    /// [`MobilityService::checkpoint`], taken at the dispatch plane's
+    /// deterministic merge boundary. Because the merged log and the
+    /// plane clock are pure functions of the input event sequence, a
+    /// recovery replay that reproduces this triple has reconstructed
+    /// every shard byte-for-byte.
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        ServiceCheckpoint {
+            events: self.events.len() as u64,
+            last_time: self.last_time,
+            digest: urpsm_simulator::event_log_digest(&self.events),
+        }
     }
 
     /// The shard currently owning a worker, if the worker exists.
@@ -904,6 +941,64 @@ mod tests {
         assert_eq!(svc.worker_shard(WorkerId(1)), Some(1));
         let out = svc.drain();
         assert!(out.audit_errors.is_empty());
+    }
+
+    #[test]
+    fn home_shard_mirrors_submit_routing() {
+        let mut svc = sharded(&[5, 45], 2, BoundaryPolicy::Strict, 1);
+        let arrival = PlatformEvent::RequestArrived(req(0, 40, 46, 0, 100_000));
+        assert_eq!(svc.home_shard(&arrival), Some(1));
+        // Before the arrival is submitted the cancel falls back to
+        // shard 0 (exactly where submit would shrug it off) …
+        let cancel = PlatformEvent::RequestCancelled {
+            at: 100,
+            request: RequestId(0),
+        };
+        assert_eq!(svc.home_shard(&cancel), Some(0));
+        svc.submit(arrival);
+        // … and follows the request home afterwards.
+        assert_eq!(svc.home_shard(&cancel), Some(1));
+        assert_eq!(
+            svc.home_shard(&PlatformEvent::WorkerLeft {
+                at: 200,
+                worker: WorkerId(1),
+                reassign: ReassignPolicy::Drain,
+            }),
+            Some(1)
+        );
+        assert_eq!(
+            svc.home_shard(&PlatformEvent::WorkerLeft {
+                at: 200,
+                worker: WorkerId(99),
+                reassign: ReassignPolicy::Drain,
+            }),
+            Some(0),
+            "unknown workers fall back to shard 0, like submit"
+        );
+        assert_eq!(svc.home_shard(&PlatformEvent::Tick { at: 300 }), None);
+        let out = svc.drain();
+        assert!(out.audit_errors.is_empty());
+    }
+
+    #[test]
+    fn checkpoints_fingerprint_the_merged_log() {
+        let feed = |svc: &mut ShardedService<'static>| {
+            svc.submit(PlatformEvent::RequestArrived(req(0, 5, 10, 0, 100_000)));
+            svc.submit(PlatformEvent::RequestArrived(req(1, 44, 40, 100, 100_000)));
+            svc.submit(PlatformEvent::Tick { at: 500 });
+        };
+        let mut a = sharded(&[5, 45], 2, BoundaryPolicy::Strict, 1);
+        let mut b = sharded(&[5, 45], 2, BoundaryPolicy::Strict, 1);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.checkpoint(), b.checkpoint());
+        assert_eq!(a.checkpoint().events, a.events().len() as u64);
+        let before = b.checkpoint();
+        b.submit(PlatformEvent::RequestCancelled {
+            at: 600,
+            request: RequestId(1),
+        });
+        assert_ne!(before.digest, b.checkpoint().digest);
     }
 
     #[test]

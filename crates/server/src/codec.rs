@@ -1,0 +1,289 @@
+//! Compact binary codec for [`PlatformEvent`]s — the WAL's payload
+//! format (DESIGN.md §9).
+//!
+//! Every variant is a one-byte tag followed by its fields in
+//! little-endian fixed width. The encoding is hand-rolled rather than
+//! derived because the WAL's torn-tail recovery depends on two
+//! properties a general serializer does not promise:
+//!
+//! * **exact-length decoding** — [`decode_event`] accepts a payload
+//!   only if it consumes *every* byte, so a truncated or padded record
+//!   can never alias a valid one;
+//! * **stability** — the byte layout is part of the on-disk format and
+//!   must not drift with compiler or library versions.
+//!
+//! Records are integrity-checked with CRC-32 (IEEE, the
+//! gzip/zip polynomial) computed over the payload.
+
+use urpsm_core::event::{PlatformEvent, ReassignPolicy};
+use urpsm_core::types::{Request, RequestId, Worker, WorkerId};
+
+/// Upper bound on an encoded event's size; anything larger in a length
+/// prefix is garbage, which lets the WAL scanner reject a corrupted
+/// length field without reading past it.
+pub const MAX_EVENT_BYTES: u32 = 64;
+
+const TAG_ARRIVED: u8 = 0;
+const TAG_CANCELLED: u8 = 1;
+const TAG_JOINED: u8 = 2;
+const TAG_LEFT: u8 = 3;
+const TAG_TICK: u8 = 4;
+
+// ── CRC-32 (IEEE) ────────────────────────────────────────────────────
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ── encode ───────────────────────────────────────────────────────────
+
+#[inline]
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the canonical encoding of `event` to `out`.
+pub fn encode_event(event: &PlatformEvent, out: &mut Vec<u8>) {
+    match *event {
+        PlatformEvent::RequestArrived(r) => {
+            out.push(TAG_ARRIVED);
+            put_u32(out, r.id.0);
+            put_u32(out, r.origin.0);
+            put_u32(out, r.destination.0);
+            put_u64(out, r.release);
+            put_u64(out, r.deadline);
+            put_u64(out, r.penalty);
+            put_u32(out, r.capacity);
+        }
+        PlatformEvent::RequestCancelled { at, request } => {
+            out.push(TAG_CANCELLED);
+            put_u64(out, at);
+            put_u32(out, request.0);
+        }
+        PlatformEvent::WorkerJoined { at, worker } => {
+            out.push(TAG_JOINED);
+            put_u64(out, at);
+            put_u32(out, worker.id.0);
+            put_u32(out, worker.origin.0);
+            put_u32(out, worker.capacity);
+        }
+        PlatformEvent::WorkerLeft {
+            at,
+            worker,
+            reassign,
+        } => {
+            out.push(TAG_LEFT);
+            put_u64(out, at);
+            put_u32(out, worker.0);
+            out.push(match reassign {
+                ReassignPolicy::Drain => 0,
+                ReassignPolicy::Reassign => 1,
+            });
+        }
+        PlatformEvent::Tick { at } => {
+            out.push(TAG_TICK);
+            put_u64(out, at);
+        }
+    }
+}
+
+// ── decode ───────────────────────────────────────────────────────────
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.bytes.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Decodes one event from `bytes`. Returns `None` unless the payload is
+/// a valid encoding consumed *exactly* to its end.
+pub fn decode_event(bytes: &[u8]) -> Option<PlatformEvent> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let ev = match c.u8()? {
+        TAG_ARRIVED => PlatformEvent::RequestArrived(Request {
+            id: RequestId(c.u32()?),
+            origin: road_network::VertexId(c.u32()?),
+            destination: road_network::VertexId(c.u32()?),
+            release: c.u64()?,
+            deadline: c.u64()?,
+            penalty: c.u64()?,
+            capacity: c.u32()?,
+        }),
+        TAG_CANCELLED => PlatformEvent::RequestCancelled {
+            at: c.u64()?,
+            request: RequestId(c.u32()?),
+        },
+        TAG_JOINED => PlatformEvent::WorkerJoined {
+            at: c.u64()?,
+            worker: Worker {
+                id: WorkerId(c.u32()?),
+                origin: road_network::VertexId(c.u32()?),
+                capacity: c.u32()?,
+            },
+        },
+        TAG_LEFT => PlatformEvent::WorkerLeft {
+            at: c.u64()?,
+            worker: WorkerId(c.u32()?),
+            reassign: match c.u8()? {
+                0 => ReassignPolicy::Drain,
+                1 => ReassignPolicy::Reassign,
+                _ => return None,
+            },
+        },
+        TAG_TICK => PlatformEvent::Tick { at: c.u64()? },
+        _ => return None,
+    };
+    c.done().then_some(ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use road_network::VertexId;
+    use urpsm_core::types::Time;
+
+    fn samples() -> Vec<PlatformEvent> {
+        vec![
+            PlatformEvent::RequestArrived(Request {
+                id: RequestId(7),
+                origin: VertexId(3),
+                destination: VertexId(9),
+                release: 1_234,
+                deadline: 99_999,
+                penalty: u64::MAX / 3,
+                capacity: 2,
+            }),
+            PlatformEvent::RequestCancelled {
+                at: 55,
+                request: RequestId(7),
+            },
+            PlatformEvent::WorkerJoined {
+                at: 60,
+                worker: Worker {
+                    id: WorkerId(4),
+                    origin: VertexId(11),
+                    capacity: 6,
+                },
+            },
+            PlatformEvent::WorkerLeft {
+                at: 70,
+                worker: WorkerId(4),
+                reassign: ReassignPolicy::Drain,
+            },
+            PlatformEvent::WorkerLeft {
+                at: 71,
+                worker: WorkerId(2),
+                reassign: ReassignPolicy::Reassign,
+            },
+            PlatformEvent::Tick { at: Time::MAX },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        for ev in samples() {
+            let mut buf = Vec::new();
+            encode_event(&ev, &mut buf);
+            assert!(buf.len() <= MAX_EVENT_BYTES as usize);
+            assert_eq!(decode_event(&buf), Some(ev), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_padded_and_garbage_payloads() {
+        for ev in samples() {
+            let mut buf = Vec::new();
+            encode_event(&ev, &mut buf);
+            // Any strict prefix fails (truncation)…
+            for k in 0..buf.len() {
+                assert_eq!(decode_event(&buf[..k]), None);
+            }
+            // …and so does any padding (exact-length contract).
+            let mut padded = buf.clone();
+            padded.push(0);
+            assert_eq!(decode_event(&padded), None);
+        }
+        assert_eq!(decode_event(&[99, 0, 0, 0]), None, "unknown tag");
+        assert_eq!(decode_event(&[]), None);
+        // Invalid reassign policy byte.
+        let mut buf = Vec::new();
+        encode_event(
+            &PlatformEvent::WorkerLeft {
+                at: 1,
+                worker: WorkerId(0),
+                reassign: ReassignPolicy::Drain,
+            },
+            &mut buf,
+        );
+        *buf.last_mut().unwrap() = 7;
+        assert_eq!(decode_event(&buf), None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // A single flipped bit changes the checksum.
+        let mut buf = Vec::new();
+        encode_event(&PlatformEvent::Tick { at: 42 }, &mut buf);
+        let clean = crc32(&buf);
+        buf[3] ^= 0x10;
+        assert_ne!(crc32(&buf), clean);
+    }
+}

@@ -1,0 +1,599 @@
+//! The ingestion server: micro-batched ticks over a service backend,
+//! with admission control and event-sourced durability (DESIGN.md §9).
+//!
+//! [`IngestServer`] owns a [`Backend`] — a plain
+//! [`MobilityService`] or a geo-sharded
+//! [`ShardedService`] — plus the mpsc front-end, the
+//! [`AdmissionController`] and (optionally) the WAL. Its life is a
+//! sequence of [`tick`](IngestServer::tick)s; each tick:
+//!
+//! 1. drains the ingestion channel and sorts the pending batch into
+//!    the canonical `(time, tie_rank, seq)` order;
+//! 2. walks the events due by the tick boundary, asking the admission
+//!    controller for a verdict: **admitted** events are appended to
+//!    the WAL and then submitted to the backend (write-ahead order),
+//!    **deferred** events stay queued for the next tick, and **shed**
+//!    arrivals are answered with an explicit
+//!    [`IngestReply::Overloaded`];
+//! 3. flushes the WAL and, on the configured cadence, cuts a logical
+//!    snapshot.
+//!
+//! Determinism: the sorted batch order is a total order independent of
+//! producer interleaving, the admission verdicts are pure functions of
+//! that order, and the WAL records exactly the submitted sequence —
+//! so a run with admission left unbounded is byte-identical to
+//! feeding the same events straight into the backend, and a crashed
+//! run recovers ([`recover`]) to a state byte-identical to never
+//! having crashed.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+
+use urpsm_core::event::{EventRouting, PlatformEvent};
+use urpsm_core::types::{RequestId, Time};
+use urpsm_dispatch::admission::{Admission, AdmissionConfig, AdmissionController};
+use urpsm_dispatch::service::ShardedService;
+use urpsm_simulator::metrics::SimMetrics;
+use urpsm_simulator::service::{MobilityService, ServiceCheckpoint, ServiceReply};
+use urpsm_simulator::SimEvent;
+
+use crate::ingest::{channel, ProducerHandle, StampedEvent};
+use crate::wal::{
+    read_snapshot, read_wal, write_snapshot, Snapshot, WalWriter, SNAPSHOT_FILE, WAL_FILE,
+};
+
+/// The dispatch layer the server fronts: one platform, or `K` of them.
+pub enum Backend<'p> {
+    /// A single [`MobilityService`] (the paper's one-dispatcher
+    /// setting). Boxed: the service is much larger than the sharded
+    /// handle, and a `Backend` is moved by value into the server.
+    Single(Box<MobilityService<'p>>),
+    /// A geo-sharded [`ShardedService`] (`K = 1` is byte-identical to
+    /// `Single`).
+    Sharded(ShardedService<'p>),
+}
+
+impl<'p> Backend<'p> {
+    /// Wraps a single service (boxing it for you).
+    pub fn single(service: MobilityService<'p>) -> Self {
+        Backend::Single(Box::new(service))
+    }
+
+    /// Number of admission shards (1 for the single backend).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            Backend::Single(_) => 1,
+            Backend::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    /// Current platform time.
+    pub fn now(&self) -> Time {
+        match self {
+            Backend::Single(s) => s.now(),
+            Backend::Sharded(s) => s.now(),
+        }
+    }
+
+    /// The event's home shard for admission accounting (`None` =
+    /// broadcast, which charges every shard).
+    pub fn home_shard(&self, event: &PlatformEvent) -> Option<usize> {
+        match self {
+            Backend::Single(_) => match event.routing() {
+                EventRouting::Broadcast => None,
+                _ => Some(0),
+            },
+            Backend::Sharded(s) => s.home_shard(event),
+        }
+    }
+
+    /// Feeds one event through the backend.
+    pub fn submit(&mut self, event: PlatformEvent) -> Vec<ServiceReply> {
+        match self {
+            Backend::Single(s) => s.submit(event),
+            Backend::Sharded(s) => s.submit(event),
+        }
+    }
+
+    /// Fingerprint of the backend's progress (DESIGN.md §9).
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        match self {
+            Backend::Single(s) => s.checkpoint(),
+            Backend::Sharded(s) => s.checkpoint(),
+        }
+    }
+
+    fn drain(self) -> (SimMetrics, Vec<SimEvent>, Vec<String>) {
+        match self {
+            Backend::Single(s) => {
+                let o = s.drain();
+                (o.metrics, o.events, o.audit_errors)
+            }
+            Backend::Sharded(s) => {
+                let o = s.drain();
+                (o.metrics, o.events, o.audit_errors)
+            }
+        }
+    }
+}
+
+/// Durability knobs: where the run directory lives and how often to
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Run directory; holds [`WAL_FILE`] and [`SNAPSHOT_FILE`].
+    /// Created if missing.
+    pub dir: PathBuf,
+    /// Cut a snapshot every this many logged events (and once at
+    /// [`IngestServer::finish`]).
+    pub snapshot_every: u64,
+}
+
+impl WalConfig {
+    /// Durability under `dir` with the default snapshot cadence
+    /// (every 1024 events).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            snapshot_every: 1024,
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Micro-batch tick length in platform time units (centiseconds;
+    /// default one minute).
+    pub tick: Time,
+    /// Admission bounds (default: unbounded — byte-identical to a
+    /// plain service).
+    pub admission: AdmissionConfig,
+    /// Event-sourced durability; `None` (the default) runs without a
+    /// WAL.
+    pub wal: Option<WalConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tick: 6_000,
+            admission: AdmissionConfig::default(),
+            wal: None,
+        }
+    }
+}
+
+/// A reply to one ingested event: either what the platform decided, or
+/// an explicit overload rejection from the admission layer (the event
+/// never reached the platform — or its WAL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestReply {
+    /// A platform decision or stop notification.
+    Service(ServiceReply),
+    /// The request's home shard was at its queue-depth bound: shed.
+    Overloaded {
+        /// The tick boundary at which the verdict was made.
+        at: Time,
+        /// The rejected request.
+        request: RequestId,
+    },
+}
+
+/// Per-tick lag metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// The tick boundary processed up to.
+    pub until: Time,
+    /// Events admitted (submitted to the backend) this tick.
+    pub admitted: usize,
+    /// New arrivals shed this tick.
+    pub shed: usize,
+    /// Events still deferred across all shards after the tick.
+    pub backlog: usize,
+    /// High-water mark of any shard's backlog over the run so far.
+    pub peak_backlog: usize,
+}
+
+/// WAL accounting after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Final WAL size in bytes (magic included).
+    pub bytes: u64,
+    /// Event records in the WAL.
+    pub records: u64,
+    /// Snapshots cut over the run.
+    pub snapshots: u64,
+}
+
+/// Everything a finished server produces.
+pub struct ServerOutcome {
+    /// Aggregate platform metrics.
+    pub metrics: SimMetrics,
+    /// The full platform event log (the byte-identity surface).
+    pub events: Vec<SimEvent>,
+    /// Audit findings (empty = clean).
+    pub audit_errors: Vec<String>,
+    /// Every reply emitted over the run, in emission order — platform
+    /// replies interleaved with `Overloaded` sheds.
+    pub replies: Vec<IngestReply>,
+    /// Ticks processed.
+    pub ticks: u64,
+    /// Total arrivals shed.
+    pub sheds: usize,
+    /// High-water mark of any shard's deferred backlog over the run —
+    /// with a finite queue limit this stays bounded (the overload test
+    /// pins it).
+    pub peak_backlog: usize,
+    /// WAL accounting, when durability was on.
+    pub wal: Option<WalStats>,
+}
+
+/// What [`recover`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Events replayed from the WAL's valid prefix.
+    pub events_replayed: u64,
+    /// Bytes of that valid prefix (the WAL was truncated back to it).
+    pub wal_bytes: u64,
+    /// Whether a torn tail (partial or corrupt trailing record) was
+    /// dropped.
+    pub torn_tail: bool,
+    /// Whether the on-disk snapshot's checkpoint matched the replayed
+    /// state at its offset (`None` = no usable snapshot found).
+    pub snapshot_verified: Option<bool>,
+}
+
+struct Pending {
+    seq: u64,
+    event: PlatformEvent,
+    /// Deferred by a previous tick (already counted in the backlog
+    /// gauge; never shed).
+    queued: bool,
+}
+
+struct WalState {
+    writer: WalWriter,
+    snapshot_path: PathBuf,
+    snapshot_every: u64,
+    last_snapshot_at: u64,
+    snapshots: u64,
+}
+
+/// The long-running ingestion service runtime.
+pub struct IngestServer<'p> {
+    backend: Backend<'p>,
+    admission: AdmissionController,
+    tick_len: Time,
+    handle: ProducerHandle,
+    rx: Receiver<StampedEvent>,
+    pending: Vec<Pending>,
+    replies: Vec<IngestReply>,
+    wal: Option<WalState>,
+    ticks: u64,
+    sheds: usize,
+}
+
+impl<'p> IngestServer<'p> {
+    /// Opens a server over `backend`. With `config.wal` set, the run
+    /// directory is created and a fresh WAL started (an existing WAL
+    /// at that path is truncated — use [`recover`] to resume one).
+    pub fn new(backend: Backend<'p>, config: ServerConfig) -> io::Result<Self> {
+        Self::with_seq(backend, config, 0, Vec::new())
+    }
+
+    fn with_seq(
+        backend: Backend<'p>,
+        config: ServerConfig,
+        first_seq: u64,
+        replies: Vec<IngestReply>,
+    ) -> io::Result<Self> {
+        let wal = match &config.wal {
+            Some(w) => {
+                fs::create_dir_all(&w.dir)?;
+                Some(WalState {
+                    writer: WalWriter::create(&w.dir.join(WAL_FILE))?,
+                    snapshot_path: w.dir.join(SNAPSHOT_FILE),
+                    snapshot_every: w.snapshot_every.max(1),
+                    last_snapshot_at: 0,
+                    snapshots: 0,
+                })
+            }
+            None => None,
+        };
+        Ok(Self::assemble(backend, &config, first_seq, replies, wal))
+    }
+
+    fn assemble(
+        backend: Backend<'p>,
+        config: &ServerConfig,
+        first_seq: u64,
+        replies: Vec<IngestReply>,
+        wal: Option<WalState>,
+    ) -> Self {
+        let (handle, rx) = channel(first_seq);
+        let admission = AdmissionController::new(
+            backend.num_shards(),
+            AdmissionConfig {
+                queue_limit: config.admission.queue_limit,
+                // A zero budget could never drain anything: clamp so
+                // every tick makes progress.
+                tick_budget: config.admission.tick_budget.max(1),
+            },
+        );
+        IngestServer {
+            backend,
+            admission,
+            tick_len: config.tick.max(1),
+            handle,
+            rx,
+            pending: Vec::new(),
+            replies,
+            wal,
+            ticks: 0,
+            sheds: 0,
+        }
+    }
+
+    /// A producer endpoint; clone freely across threads.
+    pub fn handle(&self) -> ProducerHandle {
+        self.handle.clone()
+    }
+
+    /// Current platform time.
+    pub fn now(&self) -> Time {
+        self.backend.now()
+    }
+
+    /// Events drained from the channel but not yet admitted.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Replies emitted so far, in emission order.
+    pub fn replies(&self) -> &[IngestReply] {
+        &self.replies
+    }
+
+    /// Fingerprint of the backend's progress.
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        self.backend.checkpoint()
+    }
+
+    /// Processes one micro-batch tick: drains the channel, sorts, and
+    /// walks every pending event with time ≤ `until` through
+    /// admission → WAL → backend.
+    pub fn tick(&mut self, until: Time) -> io::Result<TickReport> {
+        // Drain whatever the producers have sent so far.
+        while let Ok(stamped) = self.rx.try_recv() {
+            self.pending.push(Pending {
+                seq: stamped.seq,
+                event: stamped.event,
+                queued: false,
+            });
+        }
+        // Canonical order: (time, tie_rank, seq) — a total order, so
+        // the batch is independent of producer interleaving.
+        self.pending
+            .sort_unstable_by_key(|p| (p.event.time(), p.event.tie_rank(), p.seq));
+        let batch = std::mem::take(&mut self.pending);
+
+        self.admission.begin_tick();
+        let mut kept = Vec::new();
+        let mut admitted = 0usize;
+        let mut shed = 0usize;
+        for p in batch {
+            if p.event.time() > until {
+                kept.push(p);
+                continue;
+            }
+            let fresh_arrival = matches!(p.event, PlatformEvent::RequestArrived(_)) && !p.queued;
+            let shard = self.backend.home_shard(&p.event);
+            match self.admission.classify(shard, fresh_arrival, p.queued) {
+                Admission::Admit => {
+                    if let Some(w) = &mut self.wal {
+                        w.writer.append(&p.event)?;
+                    }
+                    self.replies.extend(
+                        self.backend
+                            .submit(p.event)
+                            .into_iter()
+                            .map(IngestReply::Service),
+                    );
+                    admitted += 1;
+                }
+                Admission::Defer => kept.push(Pending { queued: true, ..p }),
+                Admission::Shed => {
+                    let PlatformEvent::RequestArrived(r) = p.event else {
+                        unreachable!("only request arrivals are shed");
+                    };
+                    self.replies.push(IngestReply::Overloaded {
+                        at: until,
+                        request: r.id,
+                    });
+                    shed += 1;
+                }
+            }
+        }
+        self.pending = kept;
+        self.sheds += shed;
+        self.ticks += 1;
+
+        if let Some(w) = &mut self.wal {
+            w.writer.flush()?;
+            if w.writer.records() - w.last_snapshot_at >= w.snapshot_every {
+                Self::cut_snapshot(w, &self.backend)?;
+            }
+        }
+        Ok(TickReport {
+            until,
+            admitted,
+            shed,
+            backlog: self.admission.backlog(),
+            peak_backlog: self.admission.peak_backlog(),
+        })
+    }
+
+    fn cut_snapshot(w: &mut WalState, backend: &Backend<'_>) -> io::Result<()> {
+        write_snapshot(
+            &w.snapshot_path,
+            &Snapshot {
+                events_applied: w.writer.records(),
+                wal_bytes: w.writer.bytes(),
+                checkpoint: backend.checkpoint(),
+            },
+        )?;
+        w.last_snapshot_at = w.writer.records();
+        w.snapshots += 1;
+        Ok(())
+    }
+
+    /// Forces the WAL to disk and cuts a snapshot now. A crash after
+    /// `sync` returns loses nothing that was admitted before it.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(w) = &mut self.wal {
+            w.writer.flush()?;
+            Self::cut_snapshot(w, &self.backend)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one tick at the next natural boundary: one `config.tick`
+    /// past the earliest pending event (clamped to the platform
+    /// clock), so deferred backlogs drain exactly as they would under
+    /// a live clock. Returns `Ok(None)` when channel and queue are
+    /// both empty.
+    pub fn step(&mut self) -> io::Result<Option<TickReport>> {
+        while let Ok(stamped) = self.rx.try_recv() {
+            self.pending.push(Pending {
+                seq: stamped.seq,
+                event: stamped.event,
+                queued: false,
+            });
+        }
+        let Some(earliest) = self.pending.iter().map(|p| p.event.time()).min() else {
+            return Ok(None);
+        };
+        let until = (earliest.max(self.backend.now()) / self.tick_len + 1) * self.tick_len;
+        self.tick(until).map(Some)
+    }
+
+    /// Ticks until the queue is empty, then drains the backend.
+    pub fn finish(mut self) -> io::Result<ServerOutcome> {
+        while self.step()?.is_some() {}
+        self.sync()?;
+        let wal = self.wal.as_ref().map(|w| WalStats {
+            bytes: w.writer.bytes(),
+            records: w.writer.records(),
+            snapshots: w.snapshots,
+        });
+        let peak_backlog = self.admission.peak_backlog();
+        let (metrics, events, audit_errors) = self.backend.drain();
+        Ok(ServerOutcome {
+            metrics,
+            events,
+            audit_errors,
+            replies: self.replies,
+            ticks: self.ticks,
+            sheds: self.sheds,
+            peak_backlog,
+            wal,
+        })
+    }
+
+    /// Convenience: sends `events` through the front-end (stamping
+    /// them in iteration order) and runs to completion.
+    pub fn run<I>(self, events: I) -> io::Result<ServerOutcome>
+    where
+        I: IntoIterator<Item = PlatformEvent>,
+    {
+        let tx = self.handle();
+        for ev in events {
+            tx.send(ev).expect("server owns the receiver");
+        }
+        drop(tx);
+        self.finish()
+    }
+}
+
+/// Rebuilds a server from a run directory's WAL + snapshot.
+///
+/// The WAL's valid prefix is replayed through `backend` in append
+/// order — replay is deterministic, so this reconstructs the exact
+/// pre-crash platform (the snapshot's checkpoint verifies it). The
+/// file is truncated back to the valid prefix, dropping any torn
+/// tail, and the returned server appends where the crashed one left
+/// off. Requires `config.wal` to be set; a missing WAL file starts a
+/// fresh run (`events_replayed = 0`).
+pub fn recover<'p>(
+    backend: Backend<'p>,
+    config: ServerConfig,
+) -> io::Result<(IngestServer<'p>, RecoveryReport)> {
+    let Some(wal_cfg) = config.wal.clone() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "recover requires ServerConfig.wal",
+        ));
+    };
+    let wal_path = wal_cfg.dir.join(WAL_FILE);
+    let scan = match read_wal(&wal_path) {
+        Ok(scan) => scan,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            let server = IngestServer::new(backend, config)?;
+            return Ok((
+                server,
+                RecoveryReport {
+                    events_replayed: 0,
+                    wal_bytes: 0,
+                    torn_tail: false,
+                    snapshot_verified: None,
+                },
+            ));
+        }
+        Err(e) => return Err(e),
+    };
+    let snapshot = read_snapshot(&wal_cfg.dir.join(SNAPSHOT_FILE))?;
+
+    let mut backend = backend;
+    let mut replies = Vec::new();
+    let mut snapshot_verified = snapshot.map(|s| {
+        // A snapshot beyond the valid prefix means the WAL lost flushed
+        // records — report the mismatch rather than guessing.
+        s.events_applied == 0 && backend.checkpoint() == s.checkpoint
+    });
+    for (i, event) in scan.events.iter().enumerate() {
+        replies.extend(backend.submit(*event).into_iter().map(IngestReply::Service));
+        if let Some(s) = snapshot {
+            if s.events_applied == i as u64 + 1 {
+                snapshot_verified = Some(backend.checkpoint() == s.checkpoint);
+            }
+        }
+    }
+
+    // Truncate the torn tail and reopen for appending.
+    let writer = WalWriter::open_at(&wal_path, scan.valid_bytes, scan.events.len() as u64)?;
+    let mut server = IngestServer::assemble(
+        backend,
+        &config,
+        scan.events.len() as u64,
+        replies,
+        Some(WalState {
+            writer,
+            snapshot_path: wal_cfg.dir.join(SNAPSHOT_FILE),
+            snapshot_every: wal_cfg.snapshot_every.max(1),
+            last_snapshot_at: 0,
+            snapshots: 0,
+        }),
+    );
+    // Pin the recovered state on disk before accepting new events.
+    server.sync()?;
+    let report = RecoveryReport {
+        events_replayed: scan.events.len() as u64,
+        wal_bytes: scan.valid_bytes,
+        torn_tail: scan.torn,
+        snapshot_verified,
+    };
+    Ok((server, report))
+}

@@ -35,9 +35,9 @@ pub mod prelude {
     pub use crate::audit::audit_events;
     pub use crate::engine::{SimConfig, SimError, SimOutcome, Simulation};
     pub use crate::metrics::SimMetrics;
-    pub use crate::service::{MobilityService, ServiceReply};
+    pub use crate::service::{MobilityService, ServiceCheckpoint, ServiceReply};
     pub use crate::timeline::{Timeline, TimelineBucket};
-    pub use crate::SimEvent;
+    pub use crate::{event_log_digest, SimEvent};
 }
 
 /// A timestamped event emitted by the simulation, consumed by the
@@ -122,4 +122,48 @@ pub enum SimEvent {
         /// The worker.
         w: urpsm_core::types::WorkerId,
     },
+}
+
+/// Order-sensitive FNV-1a digest of an event log: every variant tag and
+/// every field of every event feeds the hash, so two logs collide only
+/// if they are byte-for-byte the same sequence (up to hash collisions).
+///
+/// This is the integrity pin of the ingestion plane's snapshots
+/// (DESIGN.md §9): a service checkpoint carries the digest of its log,
+/// and a recovery replay must reproduce it exactly before the service
+/// resumes. It is deliberately *not* a streaming hasher — recomputation
+/// over the full log keeps the function stateless and the checkpoint
+/// self-contained.
+pub fn event_log_digest(events: &[SimEvent]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+    }
+    let mut h = OFFSET;
+    for ev in events {
+        h = match *ev {
+            SimEvent::Assigned { t, r, w, delta } => mix(
+                mix(mix(mix(mix(h, 0), t), u64::from(r.0)), u64::from(w.0)),
+                delta,
+            ),
+            SimEvent::Rejected { t, r } => mix(mix(mix(h, 1), t), u64::from(r.0)),
+            SimEvent::Pickup { t, r, w } => {
+                mix(mix(mix(mix(h, 2), t), u64::from(r.0)), u64::from(w.0))
+            }
+            SimEvent::Delivery { t, r, w } => {
+                mix(mix(mix(mix(h, 3), t), u64::from(r.0)), u64::from(w.0))
+            }
+            SimEvent::Cancelled { t, r, freed } => {
+                mix(mix(mix(mix(h, 4), t), u64::from(r.0)), freed)
+            }
+            SimEvent::Unassigned { t, r, w, freed } => mix(
+                mix(mix(mix(mix(h, 5), t), u64::from(r.0)), u64::from(w.0)),
+                freed,
+            ),
+            SimEvent::WorkerJoined { t, w } => mix(mix(mix(h, 6), t), u64::from(w.0)),
+            SimEvent::WorkerLeft { t, w } => mix(mix(mix(h, 7), t), u64::from(w.0)),
+        };
+    }
+    h
 }

@@ -329,9 +329,59 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Panics on scale knobs that cannot describe a real workload —
+    /// the same construction-time contract as
+    /// [`crate::requests::WeightedCdf`]: fail loudly where the knob
+    /// was set, not deep inside generation with an opaque overflow.
+    fn validate(&self) {
+        match self.spec {
+            NetworkSpec::Grid { nx, ny, .. } => {
+                assert!(nx >= 1 && ny >= 1, "grid city needs nx, ny >= 1");
+            }
+            NetworkSpec::Ring { rings, spokes, .. } => {
+                assert!(
+                    rings >= 1 && spokes >= 3,
+                    "ring city needs rings >= 1 and spokes >= 3"
+                );
+            }
+            NetworkSpec::Custom(ref g) => {
+                assert!(g.num_vertices() > 0, "custom network has no vertices");
+            }
+        }
+        assert!(
+            self.requests == 0 || self.horizon >= 1,
+            "a non-empty request stream needs a horizon >= 1 cs"
+        );
+        assert!(
+            self.deadline_offset >= 1,
+            "deadline offset must be >= 1 cs (a zero Δ makes every request stillborn)"
+        );
+        assert!(
+            self.grid_cell_m.is_finite() && self.grid_cell_m > 0.0,
+            "platform grid cell must be a positive, finite meter length"
+        );
+        assert!(
+            self.requests <= u32::MAX as usize,
+            "request ids are u32: at most {} requests",
+            u32::MAX
+        );
+        assert!(
+            self.workers.saturating_add(self.arrivals) <= u32::MAX as usize,
+            "worker ids are u32: at most {} workers including joiners",
+            u32::MAX
+        );
+    }
+
     /// Materializes the scenario (builds network, labels, fleet and
     /// stream — the preprocessing the paper excludes from timings).
+    ///
+    /// # Panics
+    /// On nonsensical scale knobs (zero-sized city, empty horizon
+    /// under a non-empty stream, zero deadline offset, non-finite grid
+    /// cell, ids overflowing `u32`) — each with a message naming the
+    /// offending knob.
     pub fn build(self) -> Scenario {
+        self.validate();
         let network: Arc<RoadNetwork> = match self.spec {
             NetworkSpec::Grid { nx, ny, block_m } => {
                 Arc::new(grid_city(nx, ny, block_m, self.seed))
@@ -476,6 +526,25 @@ pub fn chengdu_like(seed: u64) -> ScenarioBuilder {
         .requests(3_000)
         .horizon(120 * MINUTE_CS)
         .hotspots(4)
+        .penalty_factor(10)
+        .seed(seed)
+}
+
+/// The metropolis preset: the Chengdu generator scaled to a full
+/// day of city-wide load — a 48-ring × 96-spoke radial city (4.6k
+/// vertices, ≈29 km across), 100k workers and 1M requests over 24
+/// hours, spread over 8 hotspots. This is the ingestion service's
+/// stress workload (`bench ingest`); smoke-scale runs divide
+/// `requests`/`workers` down rather than changing the city, so the
+/// demand geometry stays the same at every scale.
+pub fn metropolis(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::named("metropolis")
+        .ring_city(48, 96)
+        .workers(100_000)
+        .requests(1_000_000)
+        .horizon(24 * 60 * MINUTE_CS)
+        .hotspots(8)
+        .deadline_offset(10 * MINUTE_CS)
         .penalty_factor(10)
         .seed(seed)
 }
@@ -679,5 +748,56 @@ mod tests {
             .build();
         assert_eq!(s2.name, "chengdu-like");
         assert_eq!(s2.network.num_vertices(), 4 * 8 + 1);
+    }
+
+    #[test]
+    fn metropolis_smoke_scale_keeps_the_city_and_horizon() {
+        // Build the metropolis preset at ÷10_000 demand scale: the
+        // city and day-long horizon are the real thing; only the
+        // stream/fleet are scaled down (as `bench ingest` does).
+        let s = metropolis(7).workers(10).requests(100).build();
+        assert_eq!(s.name, "metropolis");
+        assert_eq!(s.network.num_vertices(), 48 * 96 + 1);
+        assert_eq!(s.workers.len(), 10);
+        assert_eq!(s.requests.len(), 100);
+        let horizon = 24 * 60 * MINUTE_CS;
+        assert!(s.requests.iter().all(|r| r.release <= horizon));
+        assert!(s
+            .requests
+            .iter()
+            .all(|r| r.deadline == r.release + 10 * MINUTE_CS));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_under_a_stream_is_rejected() {
+        let _ = ScenarioBuilder::named("bad")
+            .requests(10)
+            .horizon(0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline offset")]
+    fn zero_deadline_offset_is_rejected() {
+        let _ = ScenarioBuilder::named("bad").deadline_offset(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell")]
+    fn non_finite_grid_cell_is_rejected() {
+        let _ = ScenarioBuilder::named("bad").grid_cell_m(f64::NAN).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "nx, ny")]
+    fn empty_grid_city_is_rejected() {
+        let _ = ScenarioBuilder::named("bad").grid_city(0, 4).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "spokes")]
+    fn degenerate_ring_city_is_rejected() {
+        let _ = ScenarioBuilder::named("bad").ring_city(3, 2).build();
     }
 }

@@ -25,9 +25,16 @@
 //!   every event to its home shard, and hands idle border workers
 //!   across seams under the `Borrow` boundary policy. One shard is
 //!   byte-identical to `MobilityService`.
+//! - [`server`] — the long-running ingestion runtime: an mpsc
+//!   front-end with deterministic sequence-stamped micro-batching,
+//!   per-shard admission control with explicit `Overloaded` shedding,
+//!   and an event-sourced WAL + logical snapshots giving
+//!   byte-identical crash recovery ([`server::server::recover`]). The
+//!   `urpsm-serve` binary wraps it in a CLI.
 //! - [`workloads`] — synthetic city networks and request streams that
 //!   stand in for the NYC / Chengdu taxi datasets, with cancellation,
-//!   fleet-churn and multi-region demand knobs.
+//!   fleet-churn and multi-region demand knobs (`nyc_like`,
+//!   `chengdu_like` and the 1M-request `metropolis` presets).
 //!
 //! ## The streaming API
 //!
@@ -86,6 +93,7 @@ pub use road_network as network;
 pub use urpsm_baselines as baselines;
 pub use urpsm_core as core;
 pub use urpsm_dispatch as dispatch;
+pub use urpsm_server as server;
 pub use urpsm_simulator as simulator;
 pub use urpsm_workloads as workloads;
 
@@ -217,6 +225,7 @@ pub mod prelude {
     pub use urpsm_baselines::prelude::*;
     pub use urpsm_core::prelude::*;
     pub use urpsm_dispatch::prelude::*;
+    pub use urpsm_server::prelude::*;
     pub use urpsm_simulator::prelude::*;
     pub use urpsm_workloads::prelude::*;
 }

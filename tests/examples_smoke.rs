@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "hardness_adversary",
     "live_service",
     "sharded_city",
+    "ingest_service",
 ];
 
 #[test]

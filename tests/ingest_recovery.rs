@@ -1,0 +1,227 @@
+//! Crash-recovery determinism for the ingestion service (DESIGN.md
+//! §9): kill a server at an arbitrary event index, recover from
+//! snapshot + WAL, and the completed run must be **byte-identical** —
+//! event log, every reply, audit verdict, unified cost — to a run
+//! that never crashed. Pinned at `K = 1` and `K = 4`, with torn-tail
+//! and bit-flipped WAL corruption on top.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use urpsm::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::named("recovery")
+        .grid_city(10, 10)
+        .workers(6)
+        .requests(90)
+        .horizon(30 * MINUTE_CS)
+        .deadline_offset(8 * MINUTE_CS)
+        .cancel_rate(0.15)
+        .cancel_delay(3 * MINUTE_CS)
+        .fleet_churn(1, 2)
+        .seed(seed)
+        .build()
+}
+
+fn backend(sc: &Scenario, shards: usize) -> Backend<'static> {
+    if shards <= 1 {
+        Backend::single(urpsm::service(sc, Box::new(PruneGreedyDp::new())))
+    } else {
+        Backend::Sharded(urpsm::sharded(sc, shards, |_| {
+            Box::new(PruneGreedyDp::new())
+        }))
+    }
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "urpsm-recovery-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        wal: Some(WalConfig {
+            dir: dir.to_path_buf(),
+            snapshot_every: 8,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Zeroes the wall-clock field so metrics compare structurally.
+fn normalized(mut m: SimMetrics) -> SimMetrics {
+    m.planning_time = std::time::Duration::ZERO;
+    m
+}
+
+/// The uninterrupted reference run (WAL on, like the crashed runs).
+fn baseline(sc: &Scenario, shards: usize, dir: &std::path::Path) -> ServerOutcome {
+    let server = IngestServer::new(backend(sc, shards), config(dir)).expect("open server");
+    let outcome = server.run(sc.event_stream()).expect("run");
+    assert!(
+        outcome.audit_errors.is_empty(),
+        "{:?}",
+        outcome.audit_errors
+    );
+    let _ = std::fs::remove_dir_all(dir);
+    outcome
+}
+
+/// Feeds the first `k` events, syncs, and "crashes" (drops the server
+/// without draining). Returns nothing — the state of interest is on
+/// disk.
+fn run_and_crash(sc: &Scenario, shards: usize, dir: &std::path::Path, k: usize) {
+    let mut server = IngestServer::new(backend(sc, shards), config(dir)).expect("open server");
+    let tx = server.handle();
+    for ev in sc.event_stream().into_iter().take(k) {
+        tx.send(ev).expect("server alive");
+    }
+    drop(tx);
+    while server.step().expect("tick").is_some() {}
+    server.sync().expect("sync");
+    // Crash: the server is dropped mid-run; only WAL + snapshot remain.
+}
+
+/// Recovers from `dir`, feeds the not-yet-logged tail of the stream,
+/// and returns the completed outcome plus the recovery report.
+fn recover_and_finish(
+    sc: &Scenario,
+    shards: usize,
+    dir: &std::path::Path,
+) -> (ServerOutcome, RecoveryReport) {
+    let (server, report) = recover(backend(sc, shards), config(dir)).expect("recover");
+    let tx = server.handle();
+    for ev in sc
+        .event_stream()
+        .into_iter()
+        .skip(report.events_replayed as usize)
+    {
+        tx.send(ev).expect("server alive");
+    }
+    drop(tx);
+    let outcome = server.finish().expect("finish");
+    let _ = std::fs::remove_dir_all(dir);
+    (outcome, report)
+}
+
+fn assert_byte_identical(tag: &str, full: &ServerOutcome, recovered: &ServerOutcome) {
+    assert_eq!(full.events, recovered.events, "{tag}: event log");
+    assert_eq!(full.replies, recovered.replies, "{tag}: reply log");
+    assert_eq!(
+        normalized(full.metrics.clone()),
+        normalized(recovered.metrics.clone()),
+        "{tag}: metrics"
+    );
+    assert!(
+        recovered.audit_errors.is_empty(),
+        "{tag}: {:?}",
+        recovered.audit_errors
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Crash at any event index; recovery completes byte-identically.
+    #[test]
+    fn crash_at_any_index_recovers_byte_identically(seed in 1u64..4, frac in 0.0f64..1.0) {
+        let sc = scenario(seed);
+        let n = sc.event_stream().len();
+        let k = ((n as f64) * frac) as usize;
+        for shards in [1usize, 4] {
+            let full = baseline(&sc, shards, &wal_dir("base"));
+            let dir = wal_dir("crash");
+            run_and_crash(&sc, shards, &dir, k);
+            let (recovered, report) = recover_and_finish(&sc, shards, &dir);
+            prop_assert_eq!(report.events_replayed, k as u64, "K={}", shards);
+            prop_assert!(!report.torn_tail, "clean crash has no torn tail");
+            prop_assert_eq!(
+                report.snapshot_verified, Some(true),
+                "synced snapshot must verify (K={})", shards
+            );
+            assert_byte_identical(&format!("K={shards} k={k}"), &full, &recovered);
+        }
+    }
+}
+
+#[test]
+fn torn_tail_truncation_is_detected_and_recovered() {
+    let sc = scenario(11);
+    let n = sc.event_stream().len();
+    for shards in [1usize, 4] {
+        let full = baseline(&sc, shards, &wal_dir("base"));
+        let dir = wal_dir("torn");
+        run_and_crash(&sc, shards, &dir, n / 2);
+
+        // Tear the final record: chop three bytes off the WAL, as if
+        // the process died mid-write.
+        let wal = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal).expect("wal exists").len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open wal");
+        f.set_len(len - 3).expect("truncate");
+        drop(f);
+
+        let (recovered, report) = recover_and_finish(&sc, shards, &dir);
+        assert!(report.torn_tail, "K={shards}: torn tail must be flagged");
+        assert_eq!(
+            report.events_replayed,
+            (n / 2 - 1) as u64,
+            "K={shards}: exactly the torn record is lost"
+        );
+        // The snapshot vouched for one event more than the WAL now
+        // holds — the mismatch is reported, not papered over.
+        assert_eq!(report.snapshot_verified, Some(false), "K={shards}");
+        assert_byte_identical(&format!("K={shards} torn"), &full, &recovered);
+    }
+}
+
+#[test]
+fn bit_flip_in_final_record_is_detected_and_recovered() {
+    let sc = scenario(12);
+    let n = sc.event_stream().len();
+    for shards in [1usize, 4] {
+        let full = baseline(&sc, shards, &wal_dir("base"));
+        let dir = wal_dir("flip");
+        run_and_crash(&sc, shards, &dir, n / 3);
+
+        // Flip one bit in the final record's payload: the checksum
+        // must catch it and recovery must drop exactly that record.
+        let wal = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).expect("read wal");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&wal, &bytes).expect("rewrite wal");
+
+        let (recovered, report) = recover_and_finish(&sc, shards, &dir);
+        assert!(report.torn_tail, "K={shards}: corruption must be flagged");
+        assert_eq!(report.events_replayed, (n / 3 - 1) as u64, "K={shards}");
+        assert_eq!(report.snapshot_verified, Some(false), "K={shards}");
+        assert_byte_identical(&format!("K={shards} flip"), &full, &recovered);
+    }
+}
+
+#[test]
+fn recovery_without_a_wal_starts_fresh() {
+    let sc = scenario(13);
+    let dir = wal_dir("fresh");
+    let (server, report) = recover(backend(&sc, 1), config(&dir)).expect("recover");
+    assert_eq!(report.events_replayed, 0);
+    assert!(!report.torn_tail);
+    assert_eq!(report.snapshot_verified, None);
+    let outcome = server.run(sc.event_stream()).expect("run");
+    assert!(outcome.audit_errors.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

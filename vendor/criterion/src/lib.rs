@@ -141,6 +141,16 @@ impl Criterion {
         let Some(path) = &self.json_path else {
             return;
         };
+        // Every artifact records the host's logical CPU count, so a
+        // number read off BENCH_*.json can be judged against the
+        // parallelism it had available.
+        if !self.meta.iter().any(|(k, _)| k == "available_parallelism") {
+            let cpus = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            self.meta
+                .insert(0, ("available_parallelism".into(), cpus.to_string()));
+        }
         let mut out = String::from("{\n  \"meta\": {\n");
         for (i, (k, v)) in self.meta.iter().enumerate() {
             out.push_str(&format!(

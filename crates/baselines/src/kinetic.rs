@@ -298,7 +298,16 @@ impl KineticPlanner {
 
         self.eval_stops.clear();
         self.eval_legs.clear();
-        if !self.search_best.is_empty() {
+        // `checked_sub`: the search re-costs the whole tail from the
+        // oracle, while `old_remaining` is the stored-leg ledger — a
+        // snapped time-dependent head leg can make the re-costed tail
+        // *shorter* than the plan it replaces, and the unsigned ledger
+        // cannot express that negative delta. Fall back to the
+        // insertion seed, whose delta is stored-leg-exact.
+        let reordered = (!self.search_best.is_empty())
+            .then(|| best_total.checked_sub(old_remaining))
+            .flatten();
+        if let Some(delta) = reordered {
             // A strictly better ordering than the insertion seed.
             let mut prev = 0usize;
             for &i in &self.search_best {
@@ -306,7 +315,7 @@ impl KineticPlanner {
                 self.eval_legs.push(self.dist[prev * (m + 1) + i + 1]);
                 prev = i + 1;
             }
-            Some(best_total - old_remaining)
+            Some(delta)
         } else if let Some(delta) = seed {
             // Fall back to the insertion seed (or infeasible).
             self.eval_stops.extend_from_slice(self.seed_route.stops());

@@ -199,6 +199,98 @@ mod gated {
         }
     }
 
+    /// The PR-8 extension: steady-state time-dependent distance
+    /// queries. Two gated rows — warm goal-directed `TdDijkstra`
+    /// searches (generation-stamped arenas, reusable heap) and warm
+    /// `TdCachedOracle` hits (in-bucket lookups) — both at **zero**
+    /// allocations per query. Queries keep `depart + duration` inside
+    /// one profile bucket so every second-pass lookup is an exact hit.
+    fn td_rows() -> Vec<Row> {
+        use road_network::builder::NetworkBuilder;
+        use road_network::geo::Point;
+        use road_network::hub_labels::HubLabels;
+        use road_network::td::{
+            TdCachedOracle, TdDijkstra, TimeDependentOracle, TD_DIS_CACHE, TD_PATH_CACHE,
+        };
+
+        let mut b = NetworkBuilder::new();
+        for k in 0..VERTICES {
+            b.add_vertex(Point::new(k as f64, 0.0));
+        }
+        for k in 1..VERTICES as u32 {
+            b.add_edge_with_cost(VertexId(k - 1), VertexId(k), 150)
+                .expect("line edge");
+        }
+        b.set_top_speed_mps(1.0);
+        let g = std::sync::Arc::new(b.finish().expect("line network"));
+        let labels = std::sync::Arc::new(HubLabels::build(&g));
+        let profile = Arc::new(CongestionProfile::chengdu_two_peak());
+        let engine = TdDijkstra::goal_directed(g.clone(), profile.clone(), labels.clone());
+        let cached = TdCachedOracle::new(
+            TdDijkstra::goal_directed(g, profile.clone(), labels),
+            &profile,
+            TD_DIS_CACHE,
+            TD_PATH_CACHE,
+        );
+
+        // Short hops inside the 07–08h bucket: durations (≤ 31 edges,
+        // ≤ 1.3× stretched) never spill past the bucket end, so the
+        // cache's exactness rule admits every entry.
+        let queries: Vec<(VertexId, VertexId, Time)> = (0..MEASURED)
+            .map(|i| {
+                let u = (i * 7) % VERTICES;
+                let v = (u + 1 + (i % 31)).min(VERTICES - 1);
+                let depart = RUSH_SHIFT + (i as Time % 997) * 100;
+                (VertexId(u as u32), VertexId(v as u32), depart)
+            })
+            .filter(|(u, v, _)| u != v)
+            .collect();
+
+        // Warmup: size every arena and fill the cache.
+        for &(u, v, t) in &queries {
+            engine.dis_at(u, v, t);
+            cached.dis_at(u, v, t);
+        }
+
+        let mut rows = Vec::new();
+        let (mut served, mut total, mut max) = (0usize, 0u64, 0u64);
+        for &(u, v, t) in &queries {
+            let (d, allocs) = alloc_track::measure(|| engine.dis_at(u, v, t));
+            total += allocs;
+            max = max.max(allocs);
+            served += usize::from(d < road_network::INF);
+        }
+        rows.push(Row {
+            planner: "td-astar (search)",
+            profile: "chengdu-2peak",
+            threads: 1,
+            requests: queries.len(),
+            served,
+            total_allocs: total,
+            max_allocs: max,
+            gated: true,
+        });
+
+        let (mut served, mut total, mut max) = (0usize, 0u64, 0u64);
+        for &(u, v, t) in &queries {
+            let (d, allocs) = alloc_track::measure(|| cached.dis_at(u, v, t));
+            total += allocs;
+            max = max.max(allocs);
+            served += usize::from(d < road_network::INF);
+        }
+        rows.push(Row {
+            planner: "td-cache (hit)",
+            profile: "chengdu-2peak",
+            threads: 1,
+            requests: queries.len(),
+            served,
+            total_allocs: total,
+            max_allocs: max,
+            gated: true,
+        });
+        rows
+    }
+
     fn write_json(path: &str, rows: &[Row]) {
         let cpus = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -251,6 +343,9 @@ mod gated {
             // spawn set allocates per request by design.
             rows.push(run(Algo::PruneGreedyDp, profile, 4));
         }
+        // Steady-state TD distance queries (PR 8): gated at zero, like
+        // the planners above.
+        rows.extend(td_rows());
 
         eprintln!(
             "{:<14} {:<14} {:>7} {:>8} {:>14} {:>11} {:>6}",

@@ -48,6 +48,7 @@ fn sim_config(scenario: &Scenario) -> SimConfig {
         drain: true,
         threads: 0,
         congestion: scenario.congestion.clone(),
+        td_oracle: false,
     }
 }
 

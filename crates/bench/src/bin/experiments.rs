@@ -672,6 +672,17 @@ fn congestion(opts: &Opts, out: &mut impl Write) {
         (free.unified_cost, free.served_rate),
         "flat profile diverged from the free-flow run"
     );
+    // Same gate through the TD oracle: a flat profile must be the
+    // identity even when committed routes re-path through TD searches
+    // (the experiment-scale twin of `tests/td_equivalence.rs`).
+    cell.td_oracle = true;
+    let flat_td = run_cell(&cell, Algo::PruneGreedyDp);
+    assert_eq!(
+        (flat_td.unified_cost, flat_td.served_rate),
+        (free.unified_cost, free.served_rate),
+        "flat TD oracle diverged from the free-flow run"
+    );
+    cell.td_oracle = false;
 
     let mut t = Table::new(
         format!(
@@ -688,6 +699,26 @@ fn congestion(opts: &Opts, out: &mut impl Write) {
             "resp (peak)",
         ],
     );
+    // The TD comparison runs under the region-structured core-jam
+    // profile: a uniform profile stretches every path equally (the TD
+    // shortest path degenerates to the static one), so rerouting only
+    // has room to act when congestion is somewhere, not everywhere.
+    let core = Arc::new(urpsm_bench::fixtures::core_jam_profile(&fx.network));
+    let mut td_table = Table::new(
+        format!(
+            "TD oracle — Chengdu-like ÷{}, chengdu-2peak-core: overlay (stretch) vs rerouting",
+            opts.scale
+        ),
+        &[
+            "algorithm",
+            "UC (overlay)",
+            "UC (td)",
+            "served (overlay)",
+            "served (td)",
+            "resp (overlay)",
+            "resp (td)",
+        ],
+    );
     for algo in Algo::ALL {
         let free = if algo == Algo::PruneGreedyDp {
             gate_free.take().expect("gate run consumed once")
@@ -697,12 +728,25 @@ fn congestion(opts: &Opts, out: &mut impl Write) {
         };
         cell.congestion = Some(Arc::new(CongestionProfile::chengdu_two_peak()));
         let peak = run_cell(&cell, algo);
+        // Core-jam profile, overlay vs rerouting: committed legs
+        // either stretch the free-flow path wholesale or re-path
+        // through the TD oracle.
+        cell.congestion = Some(core.clone());
+        let core_overlay = run_cell(&cell, algo);
+        cell.td_oracle = true;
+        let core_td = run_cell(&cell, algo);
+        cell.td_oracle = false;
         assert!(
-            free.audit_errors.is_empty() && peak.audit_errors.is_empty(),
-            "{}: {:?} / {:?}",
+            free.audit_errors.is_empty()
+                && peak.audit_errors.is_empty()
+                && core_overlay.audit_errors.is_empty()
+                && core_td.audit_errors.is_empty(),
+            "{}: {:?} / {:?} / {:?} / {:?}",
             algo.name(),
             free.audit_errors,
-            peak.audit_errors
+            peak.audit_errors,
+            core_overlay.audit_errors,
+            core_td.audit_errors
         );
         t.push(vec![
             algo.name().to_string(),
@@ -713,13 +757,31 @@ fn congestion(opts: &Opts, out: &mut impl Write) {
             format!("{:?}", round_dur(free.response_time)),
             format!("{:?}", round_dur(peak.response_time)),
         ]);
+        td_table.push(vec![
+            algo.name().to_string(),
+            human(core_overlay.unified_cost),
+            human(core_td.unified_cost),
+            format!("{:.1}%", core_overlay.served_rate * 100.0),
+            format!("{:.1}%", core_td.served_rate * 100.0),
+            format!("{:?}", round_dur(core_overlay.response_time)),
+            format!("{:?}", round_dur(core_td.response_time)),
+        ]);
     }
     t.render(out).expect("stdout");
     writeln!(
         out,
         "\nPeak-hour multipliers only *stretch schedules*: costs stay in free-flow\n\
          distance units, so UC moves only through rejections (penalties) — the\n\
-         served-rate drop is the price of congestion under fixed deadlines."
+         served-rate drop is the price of congestion under fixed deadlines.\n"
+    )
+    .expect("stdout");
+    td_table.render(out).expect("stdout");
+    writeln!(
+        out,
+        "\nRerouting can only help: the TD oracle's leg times are exact shortest\n\
+         durations at the departure time, never worse than the stretched\n\
+         free-flow path the overlay drives, so workers arrive no later and\n\
+         deadlines admit no fewer requests."
     )
     .expect("stdout");
 }
@@ -753,6 +815,7 @@ fn ablation(opts: &Opts, out: &mut impl Write) {
                 drain: true,
                 threads: opts.threads,
                 congestion: None,
+                td_oracle: false,
             },
         );
         let res = sim.run(planner);
@@ -896,6 +959,7 @@ fn hardness(out: &mut impl Write) {
                         drain: true,
                         threads: 0,
                         congestion: None,
+                        td_oracle: false,
                     },
                 )
                 .expect("single-request stream is sorted");

@@ -129,6 +129,7 @@ impl CityFixture {
             threads: 0,
             shards: 0,
             congestion: None,
+            td_oracle: false,
         }
     }
 
@@ -147,6 +148,41 @@ impl CityFixture {
     pub fn num_requests(&self) -> usize {
         self.base_requests.len()
     }
+}
+
+/// The region-structured rush profile shared by `bench oracle-td` and
+/// `experiments congestion`: a 3×3 lattice over the city's bounding
+/// box; the center cell (downtown) runs the full two-peak day, every
+/// other cell stays free-flow. Congestion that is *somewhere* rather
+/// than everywhere is where both goal-directed search and TD
+/// rerouting pay — a uniform profile stretches every path equally, so
+/// the TD shortest path degenerates to the static one.
+pub fn core_jam_profile(g: &RoadNetwork) -> road_network::congestion::CongestionProfile {
+    use road_network::congestion::{CongestionProfile, HOUR_CS};
+    let points: Vec<_> = (0..g.num_vertices())
+        .map(|i| g.point(VertexId(i as u32)))
+        .collect();
+    let regions = CongestionProfile::regionize(&points, 3, 3);
+    let mut downtown = vec![1000u32; 24];
+    downtown[7] = 1300;
+    downtown[8] = 1700;
+    downtown[9] = 1350;
+    downtown[16] = 1200;
+    downtown[17] = 1600;
+    downtown[18] = 1750;
+    downtown[19] = 1300;
+    let shoulder = vec![1000u32; 24];
+    let tables: Vec<Vec<u32>> = (0..9)
+        .map(|r| {
+            if r == 4 {
+                downtown.clone()
+            } else {
+                shoulder.clone()
+            }
+        })
+        .collect();
+    CongestionProfile::per_region("chengdu-2peak-core", HOUR_CS, tables, regions)
+        .expect("preset is well-formed")
 }
 
 fn apply_counts(builder: ScenarioBuilder, sweep: &SweepParams) -> ScenarioBuilder {

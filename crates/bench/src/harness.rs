@@ -102,6 +102,11 @@ pub struct Cell {
     /// environment default does *not* leak into benches — bench cells
     /// opt in explicitly for comparability).
     pub congestion: Option<Arc<road_network::congestion::CongestionProfile>>,
+    /// Route committed legs through the time-dependent oracle
+    /// (`SimConfig::td_oracle` semantics). Like `congestion`, cell
+    /// constructors leave this `false` so the `URPSM_TD_ORACLE`
+    /// environment default does not leak into benches.
+    pub td_oracle: bool,
 }
 
 /// One cell's measured outputs.
@@ -140,6 +145,7 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
             drain: true,
             threads: cell.threads,
             congestion: cell.congestion.clone(),
+            td_oracle: cell.td_oracle,
         },
     );
     let mut planner = algo.planner(cell.alpha, cell.grid_cell_m);
@@ -184,6 +190,7 @@ fn run_cell_sharded(
                 drain: true,
                 threads: 0,
                 congestion: cell.congestion.clone(),
+                td_oracle: cell.td_oracle,
             },
             ..ShardConfig::default()
         },

@@ -18,10 +18,14 @@
 //! hash spreads hot pairs uniformly. The path cache keeps one mutex:
 //! path queries are 2–4 per *accepted* request (§5.3), never hot.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
 use crate::fxhash::FxHashMap;
 use crate::geo::Point;
+use crate::graph::RoadNetwork;
+use crate::hub_labels::HubLabels;
 use crate::oracle::DistanceOracle;
 use crate::{Cost, VertexId};
 
@@ -169,6 +173,17 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
 }
 
 /// Unordered vertex-pair key: `dis` is symmetric on undirected networks.
+///
+/// **Soundness caveat.** Collapsing `(u, v)` and `(v, u)` into one slot
+/// is only correct for **symmetric static metrics** — free-flow
+/// distances on an undirected graph. It is *unsound* for anything
+/// departure-time-aware: under a per-region congestion profile
+/// `dis_at(u, v, t) ≠ dis_at(v, u, t)` in general (the two directions
+/// traverse differently-stretched regions), so a symmetric key would
+/// silently serve one direction's distance for the other. Time-dependent
+/// queries must go through [`crate::td::TdCachedOracle`], whose key is
+/// asymmetric *and* time-bucketed; [`LruCachedOracle::new`] backs this
+/// up with debug-build symmetry probes of the wrapped oracle.
 #[inline]
 fn sym_key(u: VertexId, v: VertexId) -> (u32, u32) {
     if u.0 <= v.0 {
@@ -207,7 +222,30 @@ impl<O: DistanceOracle> LruCachedOracle<O> {
     /// Wraps `inner` with `dis_capacity` distance entries (split
     /// evenly across [`DIS_SHARDS`] shards) and `path_capacity` path
     /// entries.
+    ///
+    /// `inner` must be a **symmetric** metric (see `sym_key`): debug
+    /// builds probe a few vertex pairs in both directions at
+    /// construction and panic on a mismatch. Time-dependent metrics
+    /// belong behind [`crate::td::TdCachedOracle`] instead.
     pub fn new(inner: O, dis_capacity: usize, path_capacity: usize) -> Self {
+        #[cfg(debug_assertions)]
+        if inner.num_vertices() >= 2 {
+            let n = inner.num_vertices();
+            let step = (n / 5).max(1);
+            let (mut u, mut v) = (0usize, n - 1);
+            while u < v {
+                let (a, b) = (VertexId(u as u32), VertexId(v as u32));
+                debug_assert_eq!(
+                    inner.dis(a, b),
+                    inner.dis(b, a),
+                    "LruCachedOracle caches under an unordered sym_key, which is \
+                     only sound for symmetric metrics; asymmetric (e.g. \
+                     time-dependent) distances must use road_network::td::TdCachedOracle"
+                );
+                u += step;
+                v = v.saturating_sub(step);
+            }
+        }
         let per_shard = dis_capacity.div_ceil(DIS_SHARDS).max(1);
         LruCachedOracle {
             inner,
@@ -257,6 +295,15 @@ impl<O: DistanceOracle> DistanceOracle for LruCachedOracle<O> {
 
     fn top_speed_mps(&self) -> f64 {
         self.inner.top_speed_mps()
+    }
+
+    // Structural accessors are not queries: no counter bump, no cache.
+    fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+        self.inner.backing_network()
+    }
+
+    fn backing_labels(&self) -> Option<&Arc<HubLabels>> {
+        self.inner.backing_labels()
     }
 
     fn dis(&self, u: VertexId, v: VertexId) -> Cost {
@@ -393,6 +440,7 @@ mod tests {
         let g = path_network();
         let counting = CountingOracle::new(DijkstraOracle::new(g));
         let cached = LruCachedOracle::new(counting, 64, 16);
+        cached.inner().reset(); // drop the debug-build symmetry probes
 
         let d1 = cached.dis(VertexId(0), VertexId(5));
         let d2 = cached.dis(VertexId(5), VertexId(0)); // symmetric hit
@@ -433,6 +481,7 @@ mod tests {
     fn concurrent_dis_queries_agree_and_account_exactly() {
         let g = path_network();
         let cached = LruCachedOracle::new(CountingOracle::new(DijkstraOracle::new(g)), 256, 16);
+        cached.inner().reset(); // drop the debug-build symmetry probes
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 500;
         std::thread::scope(|scope| {
@@ -467,6 +516,7 @@ mod tests {
         let g = path_network();
         let counting = CountingOracle::new(DijkstraOracle::new(g));
         let cached = LruCachedOracle::new(counting, 4, 4);
+        cached.inner().reset(); // drop the debug-build symmetry probes
         assert_eq!(cached.dis(VertexId(2), VertexId(2)), 0);
         assert_eq!(
             cached.shortest_path(VertexId(2), VertexId(2)),

@@ -68,6 +68,40 @@ pub trait TravelTimeProvider: Send + Sync {
 
     /// Human-readable profile name (experiment tables, logs).
     fn name(&self) -> &str;
+
+    /// Destination-aware variant of [`TravelTimeProvider::leg_time`]:
+    /// the travel time of a leg from `from` to `to` with free-flow cost
+    /// `base`, departing at `depart`. The default ignores `to` and
+    /// forwards to `leg_time`, which keeps every PR-5 profile overlay
+    /// byte-identical; providers backed by a true time-dependent oracle
+    /// (see [`crate::td`]) override it to *reroute* — the returned time
+    /// follows the path that is shortest at `depart`, not the free-flow
+    /// path. The same four contracts apply (identity at zero,
+    /// conservation, FIFO, monotonicity in base) for every `(from, to)`.
+    fn leg_time_between(&self, from: VertexId, _to: VertexId, base: Cost, depart: u64) -> Cost {
+        self.leg_time(from, base, depart)
+    }
+
+    /// Path-level expansion hook for worker motion. A provider that
+    /// reroutes (overrides [`TravelTimeProvider::leg_time_between`])
+    /// must also describe *which* vertices the leg now visits:
+    /// implementations emit `(vertex, arrival_time, cumulative
+    /// free-flow offset)` for every vertex after `from` — the last
+    /// triple being exactly `(to, depart + leg_time_between(from, to,
+    /// base, depart), base)` — and return `true`. Returning `false`
+    /// (the default) tells the caller to expand the *static* shortest
+    /// path instead, which is correct exactly when `leg_time_between`
+    /// keeps the default free-flow-path semantics.
+    fn td_expand(
+        &self,
+        _from: VertexId,
+        _to: VertexId,
+        _base: Cost,
+        _depart: u64,
+        _emit: &mut dyn FnMut(VertexId, u64, Cost),
+    ) -> bool {
+        false
+    }
 }
 
 /// A piecewise-constant congestion profile: per time-of-day bucket
@@ -248,6 +282,18 @@ impl CongestionProfile {
     /// The profile's day length in centiseconds.
     pub fn period(&self) -> u64 {
         self.bucket_len * self.multipliers_pm[0].len() as u64
+    }
+
+    /// Bucket length in centiseconds. The profile is piecewise-constant
+    /// per bucket, which is what makes the time-bucketed TD cache
+    /// (`road_network::td`) *exact* rather than approximate.
+    pub fn bucket_len(&self) -> u64 {
+        self.bucket_len
+    }
+
+    /// Number of buckets per period (day).
+    pub fn num_buckets(&self) -> usize {
+        self.multipliers_pm[0].len()
     }
 
     /// The largest multiplier anywhere in the profile (per-mille).

@@ -42,6 +42,7 @@ pub mod hub_labels;
 pub mod io;
 pub mod matrix;
 pub mod oracle;
+pub mod td;
 
 /// Travel cost in integer centiseconds of travel time.
 ///
@@ -113,5 +114,9 @@ pub mod prelude {
     pub use crate::hub_labels::HubLabels;
     pub use crate::matrix::MatrixOracle;
     pub use crate::oracle::{CountingOracle, DistanceOracle, QueryStats};
+    pub use crate::td::{
+        td_oracle_from_env, TdCachedOracle, TdDijkstra, TdSearchStats, TdTravelTimeProvider,
+        TimeDependentOracle,
+    };
     pub use crate::{cost_add, cost_add3, Cost, VertexId, INF};
 }

@@ -54,6 +54,21 @@ pub trait DistanceOracle: Send + Sync {
         let d = self.point(u).euclidean_m(&self.point(v));
         euclidean_cost(d, self.top_speed_mps())
     }
+
+    /// The road network this oracle answers over, when it is
+    /// graph-backed. Matrix-style oracles return `None` (the default).
+    /// The mobility service uses this to stand up the time-dependent
+    /// oracle ([`crate::td`]) on the *same* graph; decorators forward.
+    fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+        None
+    }
+
+    /// The static hub-label index behind this oracle, if any — reused
+    /// as the free-flow A\* potentials of goal-directed TD search
+    /// ([`crate::td::TdDijkstra::goal_directed`]). Decorators forward.
+    fn backing_labels(&self) -> Option<&Arc<HubLabels>> {
+        None
+    }
 }
 
 /// Oracle backed by plain Dijkstra searches. Exact but slow — intended
@@ -96,13 +111,17 @@ impl DistanceOracle for DijkstraOracle {
     fn shortest_path(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
         self.engine.lock().shortest_path(&self.g, u, v)
     }
+
+    fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+        Some(&self.g)
+    }
 }
 
 /// Oracle backed by hub labels for distances (§6.1 of the paper) and
 /// bidirectional Dijkstra for the rare path reconstructions.
 pub struct HubLabelOracle {
     g: Arc<RoadNetwork>,
-    labels: HubLabels,
+    labels: Arc<HubLabels>,
     engine: Mutex<BidirDijkstra>,
 }
 
@@ -110,7 +129,7 @@ impl HubLabelOracle {
     /// Builds the labels for `g` (one-off preprocessing; excluded from
     /// response-time measurements, as in the paper).
     pub fn build(g: Arc<RoadNetwork>) -> Self {
-        let labels = HubLabels::build(&g);
+        let labels = Arc::new(HubLabels::build(&g));
         let engine = Mutex::new(BidirDijkstra::for_network(&g));
         HubLabelOracle { g, labels, engine }
     }
@@ -118,7 +137,11 @@ impl HubLabelOracle {
     /// Wraps prebuilt labels.
     pub fn from_labels(g: Arc<RoadNetwork>, labels: HubLabels) -> Self {
         let engine = Mutex::new(BidirDijkstra::for_network(&g));
-        HubLabelOracle { g, labels, engine }
+        HubLabelOracle {
+            g,
+            labels: Arc::new(labels),
+            engine,
+        }
     }
 
     /// The hub-label index (for size statistics).
@@ -151,6 +174,14 @@ impl DistanceOracle for HubLabelOracle {
 
     fn shortest_path(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
         self.engine.lock().shortest_path(&self.g, u, v)
+    }
+
+    fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+        Some(&self.g)
+    }
+
+    fn backing_labels(&self) -> Option<&Arc<HubLabels>> {
+        Some(&self.labels)
     }
 }
 
@@ -245,6 +276,15 @@ impl<O: DistanceOracle> DistanceOracle for CountingOracle<O> {
         self.euc.fetch_add(1, Ordering::Relaxed);
         self.inner.euc(u, v)
     }
+
+    // Structural accessors are not queries: no counter bump.
+    fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+        self.inner.backing_network()
+    }
+
+    fn backing_labels(&self) -> Option<&Arc<HubLabels>> {
+        self.inner.backing_labels()
+    }
 }
 
 // Blanket forwarding so `&O`, `Box<dyn ...>` and `Arc<dyn ...>` are
@@ -269,6 +309,12 @@ macro_rules! forward_oracle {
             }
             fn euc(&self, u: VertexId, v: VertexId) -> Cost {
                 (**self).euc(u, v)
+            }
+            fn backing_network(&self) -> Option<&Arc<RoadNetwork>> {
+                (**self).backing_network()
+            }
+            fn backing_labels(&self) -> Option<&Arc<HubLabels>> {
+                (**self).backing_labels()
             }
         }
     };

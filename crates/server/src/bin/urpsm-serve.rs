@@ -39,6 +39,7 @@ struct Args {
     queue_limit: usize,
     wal: Option<PathBuf>,
     recover: bool,
+    td_oracle: bool,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +54,7 @@ fn parse_args() -> Args {
         queue_limit: usize::MAX,
         wal: None,
         recover: false,
+        td_oracle: road_network::td::td_oracle_from_env(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -71,11 +73,13 @@ fn parse_args() -> Args {
             "--queue-limit" => args.queue_limit = parse(&value("--queue-limit"), "--queue-limit"),
             "--wal" => args.wal = Some(PathBuf::from(value("--wal"))),
             "--recover" => args.recover = true,
+            "--td-oracle" => args.td_oracle = true,
             "--help" | "-h" => {
                 println!(
                     "usage: urpsm-serve [--city nyc|chengdu|metropolis] [--scale D] \
                      [--shards K] [--seed S] [--producers N] [--tick CS] \
-                     [--tick-budget N] [--queue-limit N] [--wal DIR] [--recover]"
+                     [--tick-budget N] [--queue-limit N] [--wal DIR] [--recover] \
+                     [--td-oracle]"
                 );
                 std::process::exit(0);
             }
@@ -121,13 +125,14 @@ fn start_time(scenario: &Scenario) -> u64 {
     .unwrap_or(0)
 }
 
-fn build_backend(scenario: &Scenario, shards: usize) -> Backend<'static> {
+fn build_backend(scenario: &Scenario, shards: usize, td_oracle: bool) -> Backend<'static> {
     let sim = SimConfig {
         grid_cell_m: scenario.grid_cell_m,
         alpha: scenario.alpha,
         drain: true,
         threads: 0,
         congestion: scenario.congestion.clone(),
+        td_oracle,
     };
     let t0 = start_time(scenario);
     if shards <= 1 {
@@ -167,7 +172,7 @@ fn main() {
         built.elapsed()
     );
 
-    let backend = build_backend(&scenario, args.shards);
+    let backend = build_backend(&scenario, args.shards, args.td_oracle);
     let config = ServerConfig {
         tick: args.tick,
         admission: AdmissionConfig {

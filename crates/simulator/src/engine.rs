@@ -45,6 +45,17 @@ pub struct SimConfig {
     /// `URPSM_THREADS` / `URPSM_SHARDS`), so a whole test suite or CI
     /// job can run congested without touching call sites.
     pub congestion: Option<Arc<road_network::congestion::CongestionProfile>>,
+    /// Route committed legs through the true time-dependent oracle
+    /// (`road_network::td`) instead of the profile *overlay*: schedules
+    /// follow the path that is shortest at the departure time, so
+    /// congestion reroutes instead of merely delaying. Requires a
+    /// graph-backed oracle (`DistanceOracle::backing_network`) and a
+    /// congestion profile to have any effect; with a flat profile the
+    /// TD oracle is byte-identical to the overlay (and to no profile at
+    /// all — `tests/td_equivalence.rs` pins it). The default reads the
+    /// `URPSM_TD_ORACLE` environment variable, mirroring
+    /// `URPSM_CONGESTION`.
+    pub td_oracle: bool,
 }
 
 impl Default for SimConfig {
@@ -55,6 +66,7 @@ impl Default for SimConfig {
             drain: true,
             threads: 0,
             congestion: road_network::congestion::congestion_from_env(),
+            td_oracle: road_network::td::td_oracle_from_env(),
         }
     }
 }

@@ -8,8 +8,14 @@
 //! its path, at the moment a new request arrives.
 //!
 //! Each worker caches its expanded current leg; the cache is keyed on
-//! `(l_0, l_1, arr[1])` so any committed insertion that changes the
-//! first leg transparently forces a re-expansion.
+//! `(l_0, l_1, arr[1], leg base)` so any committed insertion,
+//! reorder, or cancellation bridge that changes the first leg
+//! transparently forces a re-expansion. The base belongs in the key:
+//! under a time-dependent provider a reorder can re-base a snapped
+//! head leg while `l_0`, `l_1` *and* `arr[1]` all stay put (the TD
+//! arrival is a property of the physical path, which the snapped
+//! vertex lies on), and crediting from the stale expansion would
+//! drift the driven ledger.
 //!
 //! # Distance vs. time
 //!
@@ -49,8 +55,16 @@ pub struct WorkerMotion {
     path: SmallVec<(VertexId, Time, Cost), 16>,
     /// Index of the last position the worker was snapped to.
     cursor: usize,
-    /// Cache key: `(l_0 at expansion, l_1, arr[1])`.
-    key: (VertexId, VertexId, Time),
+    /// Cache key: `(l_0 at expansion, l_1, arr[1], leg base)`. The leg
+    /// base must participate: a route mutation can replace a snapped
+    /// head remainder with a re-queried `dis(l_0, l_1)` while *every
+    /// other* coordinate collides — under a time-dependent provider the
+    /// arrival at `l_1` is a property of the physical TD path, which
+    /// the snapped vertex lies on, so `arr[1]` is genuinely preserved
+    /// (kinetic reorders and front insertions onto the same `l_1` both
+    /// produce this). A base-blind key would then keep crediting from
+    /// the stale expansion and drift the driven ledger.
+    key: (VertexId, VertexId, Time, Cost),
     /// Total driven free-flow distance so far.
     pub driven: Cost,
 }
@@ -65,7 +79,7 @@ impl WorkerMotion {
     /// Expands the current leg of `w` if the cache is stale.
     fn ensure_expanded(&mut self, state: &PlatformState, w: WorkerId, oracle: &dyn DistanceOracle) {
         let route = &state.agent(w).route;
-        let key = (route.vertex(0), route.vertex(1), route.arr(1));
+        let key = (route.vertex(0), route.vertex(1), route.arr(1), route.leg(1));
         if !self.path.is_empty() && self.key == key {
             return;
         }
@@ -85,19 +99,53 @@ impl WorkerMotion {
             Some(p) => cost_add(t0, p.leg_time(from, b, t0)),
         };
         self.path.push((from, t0, 0));
-        match oracle.shortest_path(from, to) {
-            Some(verts) if verts.len() >= 2 && verts[0] == from => {
-                self.path.reserve(verts.len() - 1);
-                let mut b: Cost = 0;
-                for pair in verts.windows(2) {
-                    b = cost_add(b, oracle.dis(pair[0], pair[1]));
-                    self.path.push((pair[1], at_offset(b), b));
+        // A rerouting provider (road_network::td) knows which vertices
+        // the leg actually visits *at this departure time* — ask it
+        // first. It emits nothing and returns false in every static
+        // case (flat profile, degenerate legs), where the free-flow
+        // shortest path below is exact.
+        let td_expanded = match congestion {
+            Some(p) => p.td_expand(from, to, leg_base, t0, &mut |v, at, off| {
+                self.path.push((v, at, off));
+            }),
+            None => false,
+        };
+        if !td_expanded {
+            match oracle.shortest_path(from, to) {
+                Some(verts) if verts.len() >= 2 && verts[0] == from => {
+                    self.path.reserve(verts.len() - 1);
+                    // Offsets are normalized to the leg's stored base:
+                    // for an ordinary leg `leg_base` equals the path
+                    // total and the scaling is exact identity, but a
+                    // cancellation-bridge leg is *capped* at the
+                    // coverage it replaced (`Route::remove_request`),
+                    // so its base may undershoot the concrete path.
+                    // Scaling keeps the invariant "last offset equals
+                    // the leg base", which is what the driven ledger
+                    // telescopes over.
+                    let total: Cost = verts
+                        .windows(2)
+                        .map(|pair| oracle.dis(pair[0], pair[1]))
+                        .fold(0, cost_add);
+                    let scale = |b: Cost| -> Cost {
+                        if total == 0 {
+                            leg_base
+                        } else {
+                            ((u128::from(leg_base) * u128::from(b)) / u128::from(total)) as Cost
+                        }
+                    };
+                    let mut b: Cost = 0;
+                    for pair in verts.windows(2) {
+                        b = cost_add(b, oracle.dis(pair[0], pair[1]));
+                        let s = scale(b);
+                        self.path.push((pair[1], at_offset(s), s));
+                    }
                 }
-            }
-            _ => {
-                // No concrete path: synthesize the leg as one hop using
-                // the schedule's own base cost and arrival.
-                self.path.push((to, route.arr(1), leg_base));
+                _ => {
+                    // No concrete path: synthesize the leg as one hop
+                    // using the schedule's own base cost and arrival.
+                    self.path.push((to, route.arr(1), leg_base));
+                }
             }
         }
         // Path timing must agree with the schedule's leg (both are the
@@ -168,11 +216,21 @@ impl WorkerMotion {
             if k != self.cursor {
                 let (v, at, offset) = self.path[k];
                 let total_base = self.path.last().expect("non-empty").2;
+                // The expansion must still describe the stored leg:
+                // crediting from a stale path desynchronizes driven
+                // from planned (the cache key above exists to make
+                // this impossible).
+                debug_assert_eq!(
+                    total_base,
+                    cost_add(route.leg(1), self.path[self.cursor].2),
+                    "stale expansion: the stored leg changed under the cached path"
+                );
                 self.driven += offset - self.path[self.cursor].2;
                 state.snap_worker_on_leg(w, v, at, total_base - offset);
                 self.cursor = k;
-                // Re-key so the position update doesn't look stale.
-                self.key = (v, self.key.1, self.key.2);
+                // Re-key so the position update doesn't look stale
+                // (the snap shrank the leg base by exactly `offset`).
+                self.key = (v, self.key.1, self.key.2, total_base - offset);
             }
             return;
         }

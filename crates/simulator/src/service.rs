@@ -114,7 +114,22 @@ impl<'p> MobilityService<'p> {
             start_time,
         );
         if let Some(profile) = &config.congestion {
-            state.set_congestion(Some(profile.clone()));
+            // Two provider flavors (DESIGN.md §7 vs §10): the PR-5
+            // profile *overlay* stretches schedules along free-flow
+            // paths; with `td_oracle` and a graph-backed oracle, the
+            // time-dependent oracle *reroutes* — schedules follow the
+            // path that is shortest at the departure time. Matrix-style
+            // oracles expose no graph and keep the overlay.
+            let provider: Arc<dyn road_network::congestion::TravelTimeProvider> =
+                match (config.td_oracle, oracle.backing_network()) {
+                    (true, Some(g)) => Arc::new(road_network::td::TdTravelTimeProvider::new(
+                        g.clone(),
+                        profile.clone(),
+                        oracle.backing_labels().cloned(),
+                    )),
+                    _ => profile.clone(),
+                };
+            state.set_congestion(Some(provider));
         }
         let motions = vec![WorkerMotion::default(); workers.len()];
         MobilityService {

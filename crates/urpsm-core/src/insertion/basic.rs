@@ -4,8 +4,16 @@
 //! This is the operator of Jaw et al. (refs 27/28) used by `tshare` (30)
 //! and `kinetic` (25); the paper's complaint is precisely its `O(n³)`
 //! time (`O(n³ q)` with `q`-cost distance queries). We keep it honest:
-//! every adjacent pair in the candidate sequence is re-queried from the
-//! oracle, no schedule arrays are consulted.
+//! every *new* leg in the candidate sequence is re-queried from the
+//! oracle. Hops between stops that stay adjacent use the route's stored
+//! leg, for the same reason the linear DP subtracts `route.leg(j+1)`:
+//! a stored leg is the planned-distance ledger's ground truth, and it
+//! can legitimately differ from `dis` of its endpoints — a mid-leg snap
+//! onto a time-dependent detour re-bases the head leg to the driven
+//! remainder (`Route::snap_on_leg`), and a cancellation bridge is
+//! capped at the coverage it replaces. Recomputing those hops from the
+//! oracle would leak the difference into `delta` and desynchronize
+//! `assigned_distance` from the driven ledger.
 
 use road_network::oracle::DistanceOracle;
 use road_network::{cost_add, Cost, INF};
@@ -40,7 +48,12 @@ pub fn basic_insertion(
             if let Some(new_distance) =
                 simulate_candidate(route, worker_capacity, r, direct, i, j, oracle)
             {
-                let delta = new_distance - old_distance;
+                // A candidate replacing a snapped head leg can come out
+                // *shorter* than the stored plan; the unsigned ledger
+                // cannot express a negative delta, so skip it.
+                let Some(delta) = new_distance.checked_sub(old_distance) else {
+                    continue;
+                };
                 let key = plan_key(delta, i, j, n);
                 if best.as_ref().is_none_or(|(bk, ..)| key < *bk) {
                     best = Some((key, i, j, delta));
@@ -74,15 +87,15 @@ fn simulate_candidate(
     let mut prev = route.vertex(0);
     let mut total: Cost = 0;
 
-    // One visit: drive to `vertex`, check its deadline, apply the load
-    // change, check capacity. Returns false on any violation.
+    // One visit: drive `d` to `vertex`, check its deadline, apply the
+    // load change, check capacity. Returns false on any violation.
     let mut visit = |prev: &mut road_network::VertexId,
                      vertex: road_network::VertexId,
+                     d: Cost,
                      ddl: Time,
                      pickup: bool,
                      amount: u32|
      -> bool {
-        let d = oracle.dis(*prev, vertex);
         total = cost_add(total, d);
         time = cost_add(time, d);
         if time > ddl {
@@ -100,9 +113,18 @@ fn simulate_candidate(
     for k in 0..=n {
         if k > 0 {
             let s = &route.stops()[k - 1];
+            // Stops that stay adjacent keep their stored leg (the
+            // ledger's ground truth — see module docs); a hop following
+            // an inserted stop is a new leg and is queried fresh.
+            let d = if i == k - 1 || j == k - 1 {
+                oracle.dis(prev, s.vertex)
+            } else {
+                route.leg(k)
+            };
             if !visit(
                 &mut prev,
                 s.vertex,
+                d,
                 s.ddl,
                 s.kind == StopKind::Pickup,
                 s.load,
@@ -110,11 +132,17 @@ fn simulate_candidate(
                 return None;
             }
         }
-        if k == i && !visit(&mut prev, r.origin, pickup_ddl, true, r.capacity) {
-            return None;
+        if k == i {
+            let d = oracle.dis(prev, r.origin);
+            if !visit(&mut prev, r.origin, d, pickup_ddl, true, r.capacity) {
+                return None;
+            }
         }
-        if k == j && !visit(&mut prev, r.destination, r.deadline, false, r.capacity) {
-            return None;
+        if k == j {
+            let d = oracle.dis(prev, r.destination);
+            if !visit(&mut prev, r.destination, d, r.deadline, false, r.capacity) {
+                return None;
+            }
         }
     }
     Some(total)
@@ -224,6 +252,46 @@ mod tests {
         // And with capacity 3 it fits inside at zero detour.
         let plan3 = basic_insertion(&route, 3, &r3, &oracle).unwrap();
         assert_eq!(plan3.delta, 0);
+    }
+
+    /// After a mid-leg snap onto a time-dependent detour the head leg
+    /// stores a driven remainder that differs from `dis(l_0, l_1)`;
+    /// deltas must be costed against the stored leg or the planned /
+    /// driven ledger drifts (the PR-8 tshare audit failure).
+    #[test]
+    fn snapped_head_leg_costed_from_stored_remainder() {
+        let oracle = line_oracle(30);
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = request(1, 5, 10, 100_000);
+        let p1 = basic_insertion(&route, 4, &r1, &oracle).unwrap();
+        route.apply_insertion(&p1, &r1);
+        // Snap to vertex 2 with 345 base units left to l_1 = 5 (a TD
+        // detour remainder; dis(2, 5) = 300).
+        route.snap_on_leg(VertexId(2), 200, 345);
+
+        // Head insertion (i = 0) replaces the stored remainder:
+        // delta = dis(2,1) + direct + dis(2,5) − 345 = 155, not the
+        // dis-recomputed 200.
+        let r2 = request(2, 1, 2, 100_000);
+        let p2 = basic_insertion(&route, 4, &r2, &oracle).unwrap();
+        assert_eq!((p2.pickup_after, p2.delivery_after), (0, 0));
+        assert_eq!(p2.delta, 155);
+
+        // Insertion past the head (i ≥ 1) keeps the stored remainder:
+        // the delta is pure tail detour, independent of the snap.
+        let r3 = request(3, 20, 25, 100_000);
+        let p3 = basic_insertion(&route, 4, &r3, &oracle).unwrap();
+        assert_eq!((p3.pickup_after, p3.delivery_after), (2, 2));
+        assert_eq!(p3.delta, 1_000 + 500); // 10→20 out, 20→25 direct
+
+        // Both stay ledger-exact: committing the plan grows
+        // `remaining_distance` by exactly the reported delta.
+        for (r, p) in [(r2, p2), (r3, p3)] {
+            let mut probe = route.clone();
+            let old = probe.remaining_distance();
+            probe.apply_insertion(&p, &r);
+            assert_eq!(probe.remaining_distance(), old + p.delta, "r{}", r.id.0);
+        }
     }
 
     #[test]

@@ -144,14 +144,20 @@ fn run(
         // (3) is the rider's own delivery deadline, which subsumes the
         // pickup deadline.
         if route.picked(j) <= free && cost_add3(route.arr(j), dis_or[j], direct) <= r.deadline {
+            // `checked_sub`, not `saturating_sub`: a snapped
+            // time-dependent head leg can exceed the detour through the
+            // new stops, and clamping the (negative) delta to zero
+            // would commit a plan the unsigned ledger cannot express.
             let delta = if j == n {
-                cost_add(dis_or[j], direct)
+                Some(cost_add(dis_or[j], direct))
             } else {
-                cost_add3(dis_or[j], direct, dis_dr[j + 1]).saturating_sub(route.leg(j + 1))
+                cost_add3(dis_or[j], direct, dis_dr[j + 1]).checked_sub(route.leg(j + 1))
             };
             // Lemma 4 (4).
-            if delta <= route.slack(j) && best.is_none_or(|(bd, ..)| delta < bd) {
-                best = Some((delta, j, j));
+            if let Some(delta) = delta {
+                if delta <= route.slack(j) && best.is_none_or(|(bd, ..)| delta < bd) {
+                    best = Some((delta, j, j));
+                }
             }
         }
 
@@ -185,11 +191,14 @@ fn run(
                 // across position j.
                 dio = INF;
                 plc = NIL;
-            } else {
-                let det_cand = cost_add(dis_or[j], dis_or[j + 1]).saturating_sub(route.leg(j + 1));
+            } else if let Some(det_cand) =
+                cost_add(dis_or[j], dis_or[j + 1]).checked_sub(route.leg(j + 1))
+            {
                 // Candidate must respect the slack at its own position
                 // (Eq. 11, second case) and ties go to the newcomer
-                // (Eq. 12, fourth case).
+                // (Eq. 12, fourth case). A `None` detour (possible only
+                // against a snapped time-dependent head leg) is skipped
+                // rather than clamped — see the i = j case above.
                 if det_cand <= route.slack(j) && det_cand <= dio {
                     dio = det_cand;
                     plc = j;

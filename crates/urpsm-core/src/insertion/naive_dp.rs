@@ -71,9 +71,12 @@ pub fn naive_dp_insertion(
             continue;
         }
         // Detour of inserting o_r between l_i and l_{i+1} (for i < j).
+        // `checked_sub`: against a snapped time-dependent head leg the
+        // detour can be negative, which the unsigned ledger cannot
+        // express — such a position is skipped, not clamped to zero.
         let det_i = if i < n {
             let dis_or_next = oracle.dis(r.origin, route.vertex(i + 1));
-            Some(cost_add(dis_i_or, dis_or_next).saturating_sub(route.leg(i + 1)))
+            cost_add(dis_i_or, dis_or_next).checked_sub(route.leg(i + 1))
         } else {
             None
         };
@@ -86,12 +89,14 @@ pub fn naive_dp_insertion(
             }
             if i == j {
                 // Fig. 2a (append) or Fig. 2b (adjacent): Eq. 5 rows 1–2.
+                // `checked_sub` as for `det_i` above.
                 let delta = if j == n {
-                    cost_add(dis_i_or, direct)
+                    Some(cost_add(dis_i_or, direct))
                 } else {
                     let dis_dr_next = oracle.dis(r.destination, route.vertex(j + 1));
-                    cost_add3(dis_i_or, direct, dis_dr_next).saturating_sub(route.leg(j + 1))
+                    cost_add3(dis_i_or, direct, dis_dr_next).checked_sub(route.leg(j + 1))
                 };
+                let Some(delta) = delta else { continue };
                 // Lemma 4 (3): the new rider's own delivery deadline.
                 if cost_add3(route.arr(i), dis_i_or, direct) > r.deadline {
                     continue;

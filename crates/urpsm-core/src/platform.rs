@@ -324,7 +324,15 @@ impl PlatformState {
     /// route and updates the cost accounting.
     pub fn commit(&mut self, w: WorkerId, r: &Request, plan: &InsertionPlan) {
         let agent = &mut self.agents[w.idx()];
+        #[cfg(debug_assertions)]
+        let old_remaining = agent.route.remaining_distance();
         agent.route.apply_insertion(plan, r);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            agent.route.remaining_distance(),
+            old_remaining + plan.delta,
+            "insertion delta must match the planned-distance growth"
+        );
         debug_assert_eq!(
             agent.route.validate(agent.worker.capacity),
             Ok(()),

@@ -260,6 +260,13 @@ impl Route {
     /// Travel time of leg `k` under the installed provider, departing
     /// at `depart` (= `arr[k-1]` during a rebuild). Free flow without a
     /// provider; the frozen head time after a mid-leg snap.
+    ///
+    /// This is the *only* seam between schedules and providers, and it
+    /// passes both endpoints: a profile overlay ignores the destination
+    /// (byte-identical to PR 5), while a rerouting provider
+    /// (`road_network::td`) answers with the path that is shortest *at
+    /// `depart`*. Probes and commits both flow through here, so a plan
+    /// is always scored with the same schedule it will drive.
     #[inline]
     fn leg_time_at(&self, k: usize, depart: Time) -> Cost {
         if k == 1 {
@@ -269,7 +276,7 @@ impl Route {
         }
         match &self.congestion {
             None => self.leg[k],
-            Some(p) => p.leg_time(self.vertex(k - 1), self.leg[k], depart),
+            Some(p) => p.leg_time_between(self.vertex(k - 1), self.vertex(k), self.leg[k], depart),
         }
     }
 
@@ -577,10 +584,18 @@ impl Route {
             .collect();
         for &k in positions.iter().rev() {
             self.stops.remove(k - 1);
-            self.leg.remove(k);
+            let removed = self.leg.remove(k);
             if k <= self.stops.len() {
-                // A stop follows the removed one: bridge the gap.
-                self.leg[k] = dis(self.vertex(k - 1), self.vertex(k));
+                // A stop follows the removed one: bridge the gap. The
+                // bridge is capped at the coverage it replaces — on a
+                // metric oracle the triangle inequality makes the cap
+                // a no-op, but a snapped time-dependent head leg holds
+                // a driven *remainder* rather than `dis(l_0, l_1)`,
+                // and an uncapped bridge past it would mint planned
+                // distance no commit ever accounted for (the unsigned
+                // `freed` ledger cannot express negative amounts).
+                let coverage = cost_add(removed, self.leg[k]);
+                self.leg[k] = dis(self.vertex(k - 1), self.vertex(k)).min(coverage);
             }
             if k == 1 {
                 // The head leg was replaced by a fresh bridge from the
@@ -592,7 +607,7 @@ impl Route {
         let after = self.remaining_distance();
         debug_assert!(
             after <= before,
-            "bridging legs must not grow the route (metric oracle)"
+            "bridging legs must not grow the route (capped bridges)"
         );
         Some(before.saturating_sub(after))
     }
@@ -1128,6 +1143,64 @@ mod tests {
         assert_eq!(freed, 100);
         assert!(route.is_empty());
         assert_eq!(route.remaining_distance(), 0);
+    }
+
+    /// A head leg snapped onto a time-dependent detour holds a driven
+    /// *remainder*, not `dis(l_0, l_1)` — bridging past it must not
+    /// mint planned distance the ledger never committed (the bridge is
+    /// capped at the coverage it replaces, and `freed` stays ≥ 0).
+    #[test]
+    fn remove_request_caps_the_bridge_over_a_snapped_head() {
+        let dis = |a: VertexId, b: VertexId| u64::from(a.0.abs_diff(b.0)) * 100;
+        let mut route = Route::new(VertexId(0), 0);
+        let r1 = req(1, 5, 10, 100_000, 1);
+        let r2 = req(2, 7, 12, 100_000, 1);
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 0,
+                delivery_after: 0,
+                delta: 1_000,
+                direct: 500,
+                shape: PlanShape::Append {
+                    dis_tail_pickup: 500,
+                },
+            },
+            &r1,
+        );
+        // 0 → 5 → 7 → 10 → 12.
+        route.apply_insertion(
+            &InsertionPlan {
+                pickup_after: 1,
+                delivery_after: 2,
+                delta: 400,
+                direct: 500,
+                shape: PlanShape::Split {
+                    dis_prev_pickup: 200,
+                    dis_pickup_next: 300,
+                    dis_prev_delivery: 200,
+                    dis_delivery_next: None,
+                },
+            },
+            &r2,
+        );
+        // Snap mid-leg onto a detour vertex: 120 base units remain to
+        // l_1 per the driven ledger, though dis(2, 5) = 300.
+        route.snap_on_leg(VertexId(2), 380, 120);
+        let before = route.remaining_distance(); // 120+200+300+200
+        assert_eq!(before, 820);
+
+        // Cancelling r1 bridges 2 → 7 (head) and 7 → 12 (tail). The
+        // head bridge dis(2, 7) = 500 exceeds the replaced coverage
+        // 120 + 200 = 320 and is capped there; the tail bridge
+        // dis(7, 12) = 500 equals its coverage 300 + 200 exactly.
+        let freed = route.remove_request(RequestId(1), dis).expect("pending");
+        assert_eq!(freed, 0, "capped bridges never mint planned distance");
+        assert_eq!(route.remaining_distance(), before);
+        assert_eq!(route.leg(1), 320);
+        assert_eq!(route.leg(2), 500);
+        let verts: Vec<u32> = route.vertices().map(|v| v.0).collect();
+        assert_eq!(verts, vec![2, 7, 12]);
+        assert!(route.validate(1).is_ok());
     }
 
     #[test]

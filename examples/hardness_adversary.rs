@@ -24,6 +24,7 @@ fn run_draw(inst: &AdversaryInstance) -> (u64, u64) {
             drain: true,
             threads: 0,
             congestion: None,
+            td_oracle: false,
         },
     )
     .expect("single-request stream is sorted");

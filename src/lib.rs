@@ -133,6 +133,7 @@ pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> Mobil
             drain: true,
             threads: 0,
             congestion: scenario_congestion(scenario),
+            td_oracle: road_network::td::td_oracle_from_env(),
         },
         start_time,
     )
@@ -189,6 +190,7 @@ where
                 drain: true,
                 threads: 0,
                 congestion: scenario_congestion(scenario),
+                td_oracle: road_network::td::td_oracle_from_env(),
             },
             ..ShardConfig::default()
         },
@@ -212,6 +214,7 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
             drain: true,
             threads: 0,
             congestion: scenario_congestion(scenario),
+            td_oracle: road_network::td::td_oracle_from_env(),
         },
     )
     .expect("scenario request streams are sorted by construction")

@@ -35,6 +35,10 @@ fn run(sc: &Scenario, threads: usize, congestion: Option<Arc<CongestionProfile>>
             drain: true,
             threads: 0,
             congestion,
+            // Env default on purpose: the CI td-oracle job runs this
+            // whole suite with URPSM_TD_ORACLE=1, so every identity
+            // gate here also pins the TD provider.
+            ..SimConfig::default()
         },
         start,
     );
@@ -64,6 +68,7 @@ fn run_sharded(
                 drain: true,
                 threads: 0,
                 congestion,
+                ..SimConfig::default()
             },
             ..ShardConfig::default()
         },
@@ -199,6 +204,7 @@ fn peak_profile_strictly_increases_planned_arrivals() {
                 drain: true,
                 threads: 0,
                 congestion,
+                ..SimConfig::default()
             },
         )
         .unwrap();

@@ -314,7 +314,12 @@ mod gated {
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        // Embed the metrics snapshot (all zeros unless built with
+        // --features obs and the URPSM_OBS gate open).
+        out.push_str(&format!(
+            "  ],\n  \"metrics_snapshot\": {}\n}}\n",
+            urpsm_bench::obs_snapshot_json()
+        ));
         std::fs::write(path, out).expect("write --json artifact");
         eprintln!("alloc bench: wrote {path}");
     }

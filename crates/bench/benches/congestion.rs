@@ -99,5 +99,11 @@ fn bench_congestion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_congestion);
+fn attach_metrics(c: &mut Criterion) {
+    // Embed the metrics snapshot in the --json artifact (all zeros
+    // unless built with --features obs and the URPSM_OBS gate open).
+    c.raw_section("metrics_snapshot", urpsm_bench::obs_snapshot_json());
+}
+
+criterion_group!(benches, bench_congestion, attach_metrics);
 criterion_main!(benches);

@@ -199,7 +199,12 @@ fn write_json(path: &str, scale: usize, scenario: &Scenario, rows: &[Row]) {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    // Embed the metrics snapshot (all zeros unless built with
+    // --features obs and the URPSM_OBS gate open).
+    out.push_str(&format!(
+        "  ],\n  \"metrics_snapshot\": {}\n}}\n",
+        urpsm_bench::obs_snapshot_json()
+    ));
     std::fs::write(path, out).expect("write --json artifact");
     eprintln!("ingest bench: wrote {path}");
 }

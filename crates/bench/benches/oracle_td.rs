@@ -212,5 +212,11 @@ fn bench_oracle_td(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oracle_td);
+fn attach_metrics(c: &mut Criterion) {
+    // Embed the metrics snapshot in the --json artifact (all zeros
+    // unless built with --features obs and the URPSM_OBS gate open).
+    c.raw_section("metrics_snapshot", urpsm_bench::obs_snapshot_json());
+}
+
+criterion_group!(benches, bench_oracle_td, attach_metrics);
 criterion_main!(benches);

@@ -69,6 +69,9 @@ struct ShardGauge {
     backlog: usize,
     /// High-water mark of `backlog` over the run.
     peak_backlog: usize,
+    /// High-water mark of `backlog` within the current tick (reset by
+    /// `begin_tick` to the carried-in backlog).
+    tick_peak: usize,
     /// Lifetime totals, for the per-tick lag report.
     applied: u64,
     shed: u64,
@@ -103,6 +106,7 @@ impl AdmissionController {
         for g in &mut self.shards {
             g.applied_this_tick = 0;
             g.blocked = false;
+            g.tick_peak = g.backlog;
         }
     }
 
@@ -140,6 +144,7 @@ impl AdmissionController {
                     } else {
                         g.backlog += 1;
                         g.peak_backlog = g.peak_backlog.max(g.backlog);
+                        g.tick_peak = g.tick_peak.max(g.backlog);
                         Admission::Defer
                     }
                 }
@@ -187,6 +192,23 @@ impl AdmissionController {
             .map(|g| g.peak_backlog)
             .max()
             .unwrap_or(0)
+    }
+
+    /// High-water mark of any shard's backlog *within the current tick*
+    /// (resets at `begin_tick` to the carried-in backlog). Always ≤
+    /// [`Self::peak_backlog`].
+    pub fn tick_peak_backlog(&self) -> usize {
+        self.shards.iter().map(|g| g.tick_peak).max().unwrap_or(0)
+    }
+
+    /// Current deferred depth of one shard.
+    pub fn shard_backlog(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, |g| g.backlog)
+    }
+
+    /// Lifetime arrivals shed at one shard.
+    pub fn shard_shed(&self, shard: usize) -> u64 {
+        self.shards.get(shard).map_or(0, |g| g.shed)
     }
 
     /// Lifetime events admitted, summed over shards.
@@ -272,6 +294,38 @@ mod tests {
         assert_eq!(ac.classify(Some(0), false, true), Admission::Defer);
         assert_eq!(ac.classify(Some(0), false, true), Admission::Defer);
         assert_eq!(ac.backlog(), 2);
+    }
+
+    #[test]
+    fn tick_peak_resets_per_tick_and_never_exceeds_run_peak() {
+        let mut ac = AdmissionController::new(
+            1,
+            AdmissionConfig {
+                queue_limit: usize::MAX,
+                tick_budget: 1,
+            },
+        );
+        // Tick 1: one admit, three defers → within-tick peak 3.
+        ac.begin_tick();
+        for i in 0..4 {
+            let _ = ac.classify(Some(0), i == 0, false);
+        }
+        assert_eq!(ac.tick_peak_backlog(), 3);
+        assert_eq!(ac.peak_backlog(), 3);
+        // Tick 2: the backlog drains by one (budget 1) and nothing new
+        // defers past the carry-in — the per-tick peak is the carried-in
+        // backlog, while the run-level peak stays at 3.
+        ac.begin_tick();
+        assert_eq!(ac.classify(Some(0), false, true), Admission::Admit);
+        assert_eq!(ac.classify(Some(0), false, true), Admission::Defer);
+        assert_eq!(ac.classify(Some(0), false, true), Admission::Defer);
+        assert_eq!(ac.tick_peak_backlog(), 3); // carry-in was 3
+        ac.begin_tick();
+        assert_eq!(ac.classify(Some(0), false, true), Admission::Admit);
+        assert_eq!(ac.classify(Some(0), false, true), Admission::Defer);
+        assert_eq!(ac.tick_peak_backlog(), 2, "per-tick peak shrinks");
+        assert_eq!(ac.peak_backlog(), 3, "run-level peak persists");
+        assert!(ac.tick_peak_backlog() <= ac.peak_backlog());
     }
 
     #[test]

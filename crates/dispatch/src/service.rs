@@ -61,6 +61,15 @@ pub fn shards_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Bump the per-shard submitted-event counter (labelled series are
+/// capped at [`urpsm_obs::MAX_SHARDS`]; higher shard ids fold into the
+/// last slot).
+#[cfg(feature = "obs")]
+#[inline]
+fn obs_shard_event(shard: usize) {
+    urpsm_obs::with(|m| m.shard_events[urpsm_obs::registry::shard_slot(shard)].inc());
+}
+
 /// What happens at shard boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BoundaryPolicy {
@@ -286,6 +295,8 @@ impl<'p> ShardedService<'p> {
             })
             .collect();
 
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.shards_live.observe_max(k as u64));
         ShardedService {
             map,
             shards,
@@ -390,6 +401,8 @@ impl<'p> ShardedService<'p> {
                 // Unknown requests deterministically land on shard 0,
                 // which shrugs them off exactly like `MobilityService`.
                 let home = self.request_home.get(&request).copied().unwrap_or(0);
+                #[cfg(feature = "obs")]
+                obs_shard_event(home);
                 self.shards[home].service.submit(event);
                 self.collect(&[home])
             }
@@ -402,6 +415,8 @@ impl<'p> ShardedService<'p> {
                 let PlatformEvent::WorkerLeft { at, reassign, .. } = event else {
                     unreachable!("only departures route by worker");
                 };
+                #[cfg(feature = "obs")]
+                obs_shard_event(home);
                 self.shards[home].service.submit(PlatformEvent::WorkerLeft {
                     at,
                     worker: local,
@@ -422,6 +437,8 @@ impl<'p> ShardedService<'p> {
         t: Time,
     ) -> Vec<ServiceReply> {
         let home = self.shard_of_vertex(anchor);
+        #[cfg(feature = "obs")]
+        obs_shard_event(home);
         match event {
             PlatformEvent::RequestArrived(r) => {
                 self.request_home.insert(r.id, home);
@@ -614,6 +631,8 @@ impl<'p> ShardedService<'p> {
         home: usize,
         probe: usize,
     ) -> Vec<ServiceReply> {
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.borrow_probes.inc());
         let origin_p = self.oracle.point(r.origin);
         let direct = self.oracle.dis(r.origin, r.destination);
         let mut cands: Vec<WorkerId> = Vec::new();
@@ -677,6 +696,18 @@ impl<'p> ShardedService<'p> {
         self.handoffs += 1;
         self.shards[src].handoffs_out += 1;
         self.shards[home].handoffs_in += 1;
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.borrow_wins.inc();
+            m.shard_handoffs.inc();
+            m.ring.record(
+                urpsm_obs::TraceKind::ShardHandoff,
+                global.idx() as u64,
+                src as u64,
+                home as u64,
+                0,
+            );
+        });
         // Two single-shard (verbatim) collects, source first, so the
         // merged log always reads departure-then-rejoin — a sorted
         // two-shard merge would flip them whenever `home < src`.

@@ -1,0 +1,149 @@
+//! `urpsm-obs` — the observability plane: a dependency-free metrics
+//! registry plus a lock-free flight recorder.
+//!
+//! # Design (see DESIGN.md §11)
+//!
+//! - **Static registry.** One global [`Registry`] of named
+//!   relaxed-atomic counters, gauges, and log-scale histograms
+//!   ([`registry()`]). Constructed lazily on first touch; that
+//!   construction (plus the trace ring's slot array) is the *only*
+//!   allocation the enabled plane ever performs.
+//! - **Flight recorder.** A lock-free overwrite-on-wrap ring of
+//!   fixed-size [`TraceEvent`] records ([`FlightRecorder`]), dumpable as
+//!   JSON on demand or on panic ([`install_panic_hook`]).
+//! - **Two gates.** Instrumented crates compile their call sites behind
+//!   their own `obs` cargo feature (off ⇒ zero code in the hot path);
+//!   with the feature on, every site routes through [`with`], which is a
+//!   single relaxed load + branch when the `URPSM_OBS` runtime gate is
+//!   off.
+//!
+//! # Runtime gate
+//!
+//! `URPSM_OBS=1` (any non-empty value other than `0`) enables recording;
+//! unset or `0` disables it. The environment is read once, on the first
+//! [`enabled`] call; binaries can override programmatically with
+//! [`set_enabled`] (e.g. `urpsm-serve --metrics-file` force-enables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+pub mod text;
+
+pub use metrics::{Counter, Gauge, HistSummary, Histogram, ShardedHistogram};
+pub use registry::{registry, MetricsSnapshot, Registry, MAX_SHARDS};
+pub use ring::{FlightRecorder, TraceEvent, TraceKind};
+pub use text::{check_exposition, render_prometheus};
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Tri-state runtime gate: 0 = not yet read from env, 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn init_enabled_from_env() -> bool {
+    let on = std::env::var("URPSM_OBS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    ENABLED.store(if on { 2 } else { 1 }, Relaxed);
+    on
+}
+
+/// Is recording enabled? First call reads `URPSM_OBS`; later calls are a
+/// single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_enabled_from_env(),
+    }
+}
+
+/// Programmatically force the runtime gate on or off (wins over the
+/// environment; used by `urpsm-serve --metrics-file`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Relaxed);
+}
+
+/// Run `f` against the global registry iff recording is enabled. This is
+/// the one entry point instrumentation sites use; when the gate is off
+/// it costs a relaxed load and a predicted branch.
+#[inline]
+pub fn with<F: FnOnce(&'static Registry)>(f: F) {
+    if enabled() {
+        f(registry());
+    }
+}
+
+/// A gate-aware wall-clock timer for latency histograms: holds a start
+/// instant only when recording was enabled at start, so the disabled
+/// path never touches the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Start timing (no-op when the runtime gate is off).
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Elapsed nanoseconds, if the gate was on at start.
+    #[inline]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0
+            .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Install a panic hook that dumps the flight recorder (JSON, most
+/// recent events) to stderr before delegating to the previous hook.
+/// Idempotent; only dumps when the runtime gate is on at panic time.
+pub fn install_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if enabled() {
+                eprintln!(
+                    "urpsm-obs: flight recorder dump ({} events retained):",
+                    registry().ring.events().len()
+                );
+                eprintln!("{}", registry().ring.dump_json());
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_toggles() {
+        set_enabled(false);
+        assert!(!enabled());
+        // workload_events is not touched by any other test in this crate,
+        // so parallel test threads cannot perturb the before/after reads.
+        let before = registry().workload_events.get();
+        with(|m| m.workload_events.inc());
+        assert_eq!(registry().workload_events.get(), before);
+        assert!(Stopwatch::start().elapsed_ns().is_none());
+        set_enabled(true);
+        assert!(enabled());
+        with(|m| m.workload_events.inc());
+        assert_eq!(registry().workload_events.get(), before + 1);
+        assert!(Stopwatch::start().elapsed_ns().is_some());
+        set_enabled(false);
+    }
+}

@@ -41,6 +41,10 @@ pub struct LruCache<K, V> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// `(hits, misses)` already published to the metrics registry —
+    /// see [`take_stats_delta`](LruCache::take_stats_delta).
+    #[cfg(feature = "obs")]
+    published: (u64, u64),
 }
 
 #[derive(Debug)]
@@ -68,6 +72,8 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
             capacity,
             hits: 0,
             misses: 0,
+            #[cfg(feature = "obs")]
+            published: (0, 0),
         }
     }
 
@@ -84,6 +90,25 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
     /// `(hits, misses)` since construction (gets only).
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// `(hits, misses)` accumulated since the last take, for batched
+    /// publication to the global metrics registry. Returns `None` — no
+    /// publication due — unless `force`d or the unpublished delta has
+    /// reached the batch threshold. Keeping the per-query cost to two
+    /// subtractions (no atomics, no branches on shared state) is what
+    /// lets the hottest structure in the system stay instrumented; the
+    /// registry lags the truth by at most one batch per shard.
+    #[cfg(feature = "obs")]
+    pub fn take_stats_delta(&mut self, force: bool) -> Option<(u64, u64)> {
+        const BATCH: u64 = 4096;
+        let dh = self.hits - self.published.0;
+        let dm = self.misses - self.published.1;
+        if dh + dm == 0 || (!force && dh + dm < BATCH) {
+            return None;
+        }
+        self.published = (self.hits, self.misses);
+        Some((dh, dm))
     }
 
     fn unlink(&mut self, i: usize) {
@@ -312,14 +337,52 @@ impl<O: DistanceOracle> DistanceOracle for LruCachedOracle<O> {
         }
         let key = sym_key(u, v);
         let shard = &self.dis_shards[shard_of(key)];
-        if let Some(&d) = shard.lock().get(&key) {
-            return d;
+        {
+            let mut cache = shard.lock();
+            if let Some(&d) = cache.get(&key) {
+                // Cache hits are the hottest event in the system
+                // (thousands per planning request), so the registry is
+                // fed in batches: the cache already counts under its
+                // own lock, and `take_stats_delta` crosses into the
+                // shared atomic counters once per batch per shard.
+                #[cfg(feature = "obs")]
+                if let Some((hits, misses)) = cache.take_stats_delta(false) {
+                    drop(cache);
+                    urpsm_obs::with(|m| {
+                        m.dis_cache_hits.add(hits);
+                        m.dis_cache_misses.add(misses);
+                    });
+                }
+                return d;
+            }
         }
         // The lock is dropped across the inner query: two threads may
         // race to fill the same pair, which costs one duplicate inner
         // query, never a wrong answer (both insert the same value).
         let d = self.inner.dis(u, v);
-        shard.lock().insert(key, d);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = shard.lock().insert(key, d);
+        }
+        #[cfg(feature = "obs")]
+        {
+            let mut cache = shard.lock();
+            let evicted = cache.insert(key, d).is_some();
+            // A miss already paid an inner-oracle query, so it always
+            // flushes the pending batch — short runs stay visible in
+            // the exposition without waiting for a full batch.
+            let delta = cache.take_stats_delta(true);
+            drop(cache);
+            urpsm_obs::with(|m| {
+                if evicted {
+                    m.dis_cache_evictions.inc();
+                }
+                if let Some((hits, misses)) = delta {
+                    m.dis_cache_hits.add(hits);
+                    m.dis_cache_misses.add(misses);
+                }
+            });
+        }
         d
     }
 
@@ -330,14 +393,20 @@ impl<O: DistanceOracle> DistanceOracle for LruCachedOracle<O> {
         {
             let mut cache = self.path_cache.lock();
             if let Some(p) = cache.get(&(u.0, v.0)) {
+                #[cfg(feature = "obs")]
+                urpsm_obs::with(|m| m.path_cache_hits.inc());
                 return Some(p.clone());
             }
             if let Some(p) = cache.get(&(v.0, u.0)) {
+                #[cfg(feature = "obs")]
+                urpsm_obs::with(|m| m.path_cache_hits.inc());
                 let mut rev = p.clone();
                 rev.reverse();
                 return Some(rev);
             }
         }
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.path_cache_misses.inc());
         let p = self.inner.shortest_path(u, v)?;
         self.path_cache.lock().insert((u.0, v.0), p.clone());
         Some(p)

@@ -397,6 +397,11 @@ impl TdDijkstra {
                 .fetch_add(state.settled - before.0, Ordering::Relaxed);
             self.relaxed
                 .fetch_add(state.relaxed - before.1, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            urpsm_obs::with(|m| {
+                m.td_queries.inc();
+                m.td_settled.add(state.settled - before.0);
+            });
             extract(d, state)
         })
     }
@@ -570,15 +575,41 @@ impl<O: TimeDependentOracle> TimeDependentOracle for TdCachedOracle<O> {
         if let Some(&d) = shard.lock().get(&key) {
             if depart.saturating_add(d) <= bucket_end {
                 self.dis_hits.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "obs")]
+                urpsm_obs::with(|m| {
+                    m.td_dis_hits.inc();
+                    m.ring.record(
+                        urpsm_obs::TraceKind::TdCache,
+                        1,
+                        u64::from(u.0),
+                        u64::from(v.0),
+                        bucket,
+                    );
+                });
                 return d;
             }
         }
         self.dis_misses.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.td_dis_misses.inc();
+            m.ring.record(
+                urpsm_obs::TraceKind::TdCache,
+                0,
+                u64::from(u.0),
+                u64::from(v.0),
+                bucket,
+            );
+        });
         // Lock dropped across the inner query (same benign duplicate-
         // fill race as the static cache: equal values, never wrong).
         let d = self.inner.dis_at(u, v, depart);
         if depart.saturating_add(d) <= bucket_end {
-            shard.lock().insert(key, d);
+            let _evicted = shard.lock().insert(key, d).is_some();
+            #[cfg(feature = "obs")]
+            if _evicted {
+                urpsm_obs::with(|m| m.td_evictions.inc());
+            }
         }
         d
     }
@@ -603,14 +634,22 @@ impl<O: TimeDependentOracle> TimeDependentOracle for TdCachedOracle<O> {
             if let Some((d, p)) = cache.get(&key) {
                 if depart.saturating_add(*d) <= bucket_end {
                     self.path_hits.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "obs")]
+                    urpsm_obs::with(|m| m.td_path_hits.inc());
                     return Some((*d, p.clone()));
                 }
             }
         }
         self.path_misses.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.td_path_misses.inc());
         let (d, p) = self.inner.path_and_duration_at(u, v, depart)?;
         if depart.saturating_add(d) <= bucket_end {
-            self.path_cache.lock().insert(key, (d, p.clone()));
+            let _evicted = self.path_cache.lock().insert(key, (d, p.clone())).is_some();
+            #[cfg(feature = "obs")]
+            if _evicted {
+                urpsm_obs::with(|m| m.td_evictions.inc());
+            }
         }
         Some((d, p))
     }

@@ -4,7 +4,7 @@
 //! urpsm-serve [--city nyc|chengdu|metropolis] [--scale D] [--shards K]
 //!             [--seed S] [--producers N] [--tick CS]
 //!             [--tick-budget N] [--queue-limit N]
-//!             [--wal DIR] [--recover]
+//!             [--wal DIR] [--recover] [--metrics-file PATH]
 //! ```
 //!
 //! Generates the preset scenario with demand divided by `--scale`,
@@ -14,6 +14,20 @@
 //! metrics. With `--wal DIR` every admitted event is logged and
 //! snapshots are cut; `--recover` resumes from that directory after a
 //! crash instead of starting fresh.
+//!
+//! `--metrics-file PATH` turns the observability plane on (when the
+//! binary was built with `--features obs`) and rewrites `PATH` with a
+//! Prometheus-text exposition of the full metrics registry at every
+//! tick and once more on shutdown. Without the `obs` feature the flag
+//! is accepted but ignored with a warning — the hot path contains no
+//! instrumentation code at all in that build.
+//!
+//! Exit codes:
+//!
+//! - `0` — run completed and the audit log is clean.
+//! - `1` — run completed but the backend reported audit errors.
+//! - `2` — usage or I/O error (bad flag, recovery failure, tick
+//!   failure); a diagnostic is printed to stderr.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -40,6 +54,7 @@ struct Args {
     wal: Option<PathBuf>,
     recover: bool,
     td_oracle: bool,
+    metrics_file: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +70,7 @@ fn parse_args() -> Args {
         wal: None,
         recover: false,
         td_oracle: road_network::td::td_oracle_from_env(),
+        metrics_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,12 +90,13 @@ fn parse_args() -> Args {
             "--wal" => args.wal = Some(PathBuf::from(value("--wal"))),
             "--recover" => args.recover = true,
             "--td-oracle" => args.td_oracle = true,
+            "--metrics-file" => args.metrics_file = Some(PathBuf::from(value("--metrics-file"))),
             "--help" | "-h" => {
                 println!(
                     "usage: urpsm-serve [--city nyc|chengdu|metropolis] [--scale D] \
                      [--shards K] [--seed S] [--producers N] [--tick CS] \
                      [--tick-budget N] [--queue-limit N] [--wal DIR] [--recover] \
-                     [--td-oracle]"
+                     [--td-oracle] [--metrics-file PATH]"
                 );
                 std::process::exit(0);
             }
@@ -158,8 +175,31 @@ fn build_backend(scenario: &Scenario, shards: usize, td_oracle: bool) -> Backend
     }
 }
 
+/// Rewrites the Prometheus-text exposition at `path`. A failed write
+/// warns (once per call) rather than aborting the run — metrics are
+/// best-effort, the run itself is not.
+#[cfg(feature = "obs")]
+fn write_metrics(path: &std::path::Path) {
+    let text = urpsm_obs::render_prometheus(urpsm_obs::registry());
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("urpsm-serve: cannot write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.metrics_file.is_some() {
+        #[cfg(feature = "obs")]
+        {
+            urpsm_obs::set_enabled(true);
+            urpsm_obs::install_panic_hook();
+        }
+        #[cfg(not(feature = "obs"))]
+        eprintln!(
+            "urpsm-serve: built without the `obs` feature; --metrics-file is ignored \
+             (rebuild with `--features urpsm-server/obs`)"
+        );
+    }
     let built = Instant::now();
     let scenario = build_scenario(&args);
     let events = scenario.event_stream();
@@ -182,7 +222,7 @@ fn main() {
         wal: args.wal.clone().map(WalConfig::new),
     };
 
-    let (mut server, skip) = if args.recover {
+    let (mut server, skip, recovery_note) = if args.recover {
         let (server, report) = recover(backend, config).unwrap_or_else(|e| {
             die(&format!("recovery failed: {e}"));
         });
@@ -190,12 +230,18 @@ fn main() {
             "urpsm-serve: recovered {} events ({} WAL bytes, torn tail: {}, snapshot ok: {:?})",
             report.events_replayed, report.wal_bytes, report.torn_tail, report.snapshot_verified
         );
-        (server, report.events_replayed as usize)
+        let note = format!(
+            "recovered {} events{}",
+            report.events_replayed,
+            if report.torn_tail { " (torn tail)" } else { "" }
+        );
+        (server, report.events_replayed as usize, note)
     } else {
         (
             IngestServer::new(backend, config)
                 .unwrap_or_else(|e| die(&format!("cannot open server: {e}"))),
             0,
+            "fresh".to_string(),
         )
     };
 
@@ -233,11 +279,20 @@ fn main() {
             );
         }
         last = Some(report);
+        #[cfg(feature = "obs")]
+        if let Some(path) = &args.metrics_file {
+            write_metrics(path);
+        }
     }
     let outcome = server
         .finish()
         .unwrap_or_else(|e| die(&format!("drain failed: {e}")));
     let elapsed = ingest_start.elapsed();
+    #[cfg(feature = "obs")]
+    if let Some(path) = &args.metrics_file {
+        write_metrics(path);
+        eprintln!("urpsm-serve: metrics written to {}", path.display());
+    }
 
     let processed = feed.len() - outcome.sheds;
     println!("city            {}", scenario.name);
@@ -264,6 +319,26 @@ fn main() {
     println!("unified cost    {}", outcome.metrics.unified_cost);
     println!(
         "audit           {}",
+        if outcome.audit_errors.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} errors", outcome.audit_errors.len())
+        }
+    );
+    // One-line shutdown summary: everything an operator greps for
+    // after a run, on a single stderr line.
+    eprintln!(
+        "urpsm-serve: done — {} events, {} shed, {} ticks, peak backlog {}, wal {} \
+         | recovery: {} | audit: {}",
+        feed.len(),
+        outcome.sheds,
+        outcome.ticks,
+        outcome.peak_backlog,
+        outcome
+            .wal
+            .as_ref()
+            .map_or("off".to_string(), |w| format!("{} bytes", w.bytes)),
+        recovery_note,
         if outcome.audit_errors.is_empty() {
             "clean".to_string()
         } else {

@@ -193,7 +193,9 @@ pub struct TickReport {
     pub shed: usize,
     /// Events still deferred across all shards after the tick.
     pub backlog: usize,
-    /// High-water mark of any shard's backlog over the run so far.
+    /// High-water mark of any shard's backlog *within this tick* —
+    /// resets at every tick boundary. The run-level maximum is
+    /// [`ServerOutcome::peak_backlog`].
     pub peak_backlog: usize,
 }
 
@@ -381,8 +383,20 @@ impl<'p> IngestServer<'p> {
         let batch = std::mem::take(&mut self.pending);
 
         self.admission.begin_tick();
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.ingest_ticks.inc();
+            m.ring.record(
+                urpsm_obs::TraceKind::TickStart,
+                self.ticks + 1,
+                until,
+                self.pending.len() as u64,
+                0,
+            );
+        });
         let mut kept = Vec::new();
         let mut admitted = 0usize;
+        let mut deferred = 0usize;
         let mut shed = 0usize;
         for p in batch {
             if p.event.time() > until {
@@ -391,7 +405,23 @@ impl<'p> IngestServer<'p> {
             }
             let fresh_arrival = matches!(p.event, PlatformEvent::RequestArrived(_)) && !p.queued;
             let shard = self.backend.home_shard(&p.event);
-            match self.admission.classify(shard, fresh_arrival, p.queued) {
+            let verdict = self.admission.classify(shard, fresh_arrival, p.queued);
+            #[cfg(feature = "obs")]
+            urpsm_obs::with(|m| {
+                let code = match verdict {
+                    Admission::Admit => 0u64,
+                    Admission::Defer => 1,
+                    Admission::Shed => 2,
+                };
+                m.ring.record(
+                    urpsm_obs::TraceKind::Admission,
+                    code,
+                    shard.map_or(u64::MAX, |s| s as u64),
+                    p.event.time(),
+                    u64::from(p.queued),
+                );
+            });
+            match verdict {
                 Admission::Admit => {
                     if let Some(w) = &mut self.wal {
                         w.writer.append(&p.event)?;
@@ -404,7 +434,10 @@ impl<'p> IngestServer<'p> {
                     );
                     admitted += 1;
                 }
-                Admission::Defer => kept.push(Pending { queued: true, ..p }),
+                Admission::Defer => {
+                    deferred += 1;
+                    kept.push(Pending { queued: true, ..p });
+                }
                 Admission::Shed => {
                     let PlatformEvent::RequestArrived(r) = p.event else {
                         unreachable!("only request arrivals are shed");
@@ -413,10 +446,17 @@ impl<'p> IngestServer<'p> {
                         at: until,
                         request: r.id,
                     });
+                    #[cfg(feature = "obs")]
+                    urpsm_obs::with(|m| {
+                        if let Some(s) = shard {
+                            m.shard_sheds[urpsm_obs::registry::shard_slot(s)].inc();
+                        }
+                    });
                     shed += 1;
                 }
             }
         }
+        let _ = deferred;
         self.pending = kept;
         self.sheds += shed;
         self.ticks += 1;
@@ -427,12 +467,35 @@ impl<'p> IngestServer<'p> {
                 Self::cut_snapshot(w, &self.backend)?;
             }
         }
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.ingest_admitted.add(admitted as u64);
+            m.ingest_deferred.add(deferred as u64);
+            m.ingest_shed.add(shed as u64);
+            m.ingest_backlog.set(self.admission.backlog() as u64);
+            m.ingest_peak_backlog
+                .observe_max(self.admission.peak_backlog() as u64);
+            let shards = self.admission.num_shards();
+            m.shards_live.observe_max(shards as u64);
+            for s in 0..shards.min(urpsm_obs::MAX_SHARDS) {
+                m.shard_backlog[s].set(self.admission.shard_backlog(s) as u64);
+            }
+            m.ring.record(
+                urpsm_obs::TraceKind::TickEnd,
+                self.ticks,
+                admitted as u64,
+                shed as u64,
+                self.admission.backlog() as u64,
+            );
+        });
         Ok(TickReport {
             until,
             admitted,
             shed,
             backlog: self.admission.backlog(),
-            peak_backlog: self.admission.peak_backlog(),
+            // Per-tick high-water mark: resets each tick (the run-level
+            // maximum lives in `ServerOutcome::peak_backlog`).
+            peak_backlog: self.admission.tick_peak_backlog(),
         })
     }
 
@@ -595,5 +658,20 @@ pub fn recover<'p>(
         torn_tail: scan.torn,
         snapshot_verified,
     };
+    #[cfg(feature = "obs")]
+    urpsm_obs::with(|m| {
+        m.recovery_runs.inc();
+        m.recovery_replayed.add(report.events_replayed);
+        if report.torn_tail {
+            m.recovery_torn_tail.inc();
+        }
+        m.ring.record(
+            urpsm_obs::TraceKind::Recovery,
+            report.events_replayed,
+            report.wal_bytes,
+            u64::from(report.torn_tail),
+            report.snapshot_verified.map_or(2, u64::from),
+        );
+    });
     Ok((server, report))
 }

@@ -100,12 +100,40 @@ impl WalWriter {
         self.out.write_all(&payload)?;
         self.bytes += 8 + u64::from(len);
         self.records += 1;
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.wal_appends.inc();
+            m.wal_bytes.add(8 + u64::from(len));
+            m.ring.record(
+                urpsm_obs::TraceKind::WalAppend,
+                self.records,
+                8 + u64::from(len),
+                self.bytes,
+                0,
+            );
+        });
         Ok(())
     }
 
     /// Flushes buffered records to the OS.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        #[cfg(feature = "obs")]
+        let sw = urpsm_obs::Stopwatch::start();
+        self.out.flush()?;
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.wal_flushes.inc();
+            let ns = sw.elapsed_ns().unwrap_or(0);
+            m.wal_flush_ns.record(ns);
+            m.ring.record(
+                urpsm_obs::TraceKind::WalFsync,
+                self.records,
+                self.bytes,
+                ns,
+                0,
+            );
+        });
+        Ok(())
     }
 
     /// Bytes in the log, magic included (after a flush this equals the

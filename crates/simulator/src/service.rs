@@ -198,6 +198,8 @@ impl<'p> MobilityService<'p> {
     /// [`PlatformEvent::WorkerJoined`]) produce no replies instead of a
     /// panic.
     pub fn submit(&mut self, event: PlatformEvent) -> Vec<ServiceReply> {
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.service_events.inc());
         let mark = self.events.len();
         let t = event.time().max(self.last_time);
         self.fire_wakeups_due(t);
@@ -240,7 +242,10 @@ impl<'p> MobilityService<'p> {
                 // Time advance + due wake-ups already happened above.
             }
         }
-        self.events[mark..].to_vec()
+        let out = self.events[mark..].to_vec();
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.service_replies.add(out.len() as u64));
+        out
     }
 
     /// Convenience: submits a whole pre-merged stream.

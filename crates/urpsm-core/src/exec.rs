@@ -210,7 +210,11 @@ impl AtomicMin {
     /// Lowers the bound to `v` if `v` is smaller.
     #[inline]
     pub fn observe(&self, v: u64) {
-        self.0.fetch_min(v, Ordering::Relaxed);
+        let _prev = self.0.fetch_min(v, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        if _prev > v {
+            urpsm_obs::with(|m| m.plan_bound_improvements.inc());
+        }
     }
 }
 

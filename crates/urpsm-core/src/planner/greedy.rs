@@ -90,9 +90,13 @@ impl DpEngine {
             scratches,
             candidates,
         } = self;
+        #[cfg(feature = "obs")]
+        let obs_sw = urpsm_obs::Stopwatch::start();
         let oracle = state.oracle_arc();
         let direct = oracle.dis(r.origin, r.destination);
         if direct >= INF {
+            #[cfg(feature = "obs")]
+            record_plan_obs(&obs_sw, r, 0, None);
             state.reject(r);
             return Outcome::Rejected;
         }
@@ -110,6 +114,8 @@ impl DpEngine {
             .threads()
             .min(candidates.len() / MIN_CANDIDATES_PER_THREAD);
         let best = if width > 1 {
+            #[cfg(feature = "obs")]
+            urpsm_obs::with(|m| m.plan_parallel_requests.inc());
             // A rejection (economic or no-feasible-placement) comes
             // back as `None`, exactly like an empty probe result — the
             // sequential path rejects in both cases too.
@@ -140,13 +146,15 @@ impl DpEngine {
             );
             scratch.shortlist.sort_by_bound();
             if economic_reject(cfg.alpha, r, scratch.shortlist.min_lb()) {
+                #[cfg(feature = "obs")]
+                record_plan_obs(&obs_sw, r, candidates.len(), None);
                 state.reject(r);
                 return Outcome::Rejected;
             }
             probe_sequential(scratch, prune, state.view(), r, &*oracle)
         };
 
-        match best {
+        let outcome = match best {
             Some((delta, w, plan)) => {
                 if cfg.strict_economics && cfg.alpha.saturating_mul(delta) > r.penalty {
                     state.reject(r);
@@ -160,8 +168,46 @@ impl DpEngine {
                 state.reject(r);
                 Outcome::Rejected
             }
-        }
+        };
+        #[cfg(feature = "obs")]
+        record_plan_obs(
+            &obs_sw,
+            r,
+            candidates.len(),
+            match &outcome {
+                Outcome::Assigned { delta, .. } => Some(*delta),
+                _ => None,
+            },
+        );
+        outcome
     }
+}
+
+/// Record one planner invocation into the registry: latency and
+/// shortlist-size histograms, outcome counters, and a `PlanRequest`
+/// trace record. The trace's probe word carries the *cumulative*
+/// `plan_probes` counter at record time — consumers diff consecutive
+/// records to recover per-request probe counts on serial runs.
+#[cfg(feature = "obs")]
+fn record_plan_obs(sw: &urpsm_obs::Stopwatch, r: &Request, shortlist: usize, delta: Option<Cost>) {
+    urpsm_obs::with(|m| {
+        if let Some(ns) = sw.elapsed_ns() {
+            m.plan_latency_ns.record(ns);
+        }
+        m.plan_requests.inc();
+        m.plan_shortlist_len.record(shortlist as u64);
+        match delta {
+            Some(_) => m.plan_assigned.inc(),
+            None => m.plan_rejected.inc(),
+        }
+        m.ring.record(
+            urpsm_obs::TraceKind::PlanRequest,
+            u64::from(r.id.0),
+            shortlist as u64,
+            m.plan_probes.get(),
+            delta.unwrap_or(u64::MAX),
+        );
+    });
 }
 
 /// The sequential planning phase — Algo. 5's loop, verbatim, scanning
@@ -192,6 +238,8 @@ fn probe_sequential(
             }
         }
         let agent = view.agent(w);
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.plan_probes.inc());
         if let Some(plan) =
             linear_dp_insertion_with(insertion, &agent.route, agent.worker.capacity, r, oracle)
         {
@@ -355,6 +403,8 @@ fn plan_fused_parallel(
                     break;
                 }
                 let agent = view.agent(w);
+                #[cfg(feature = "obs")]
+                urpsm_obs::with(|m| m.plan_probes.inc());
                 if let Some(plan) = linear_dp_insertion_with(
                     insertion,
                     &agent.route,

@@ -83,6 +83,8 @@ impl Scenario {
             .chain(self.fleet_events.iter().copied())
             .collect();
         events.sort_by_key(|e| (e.time(), e.tie_rank()));
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| m.workload_events.add(events.len() as u64));
         events
     }
 }

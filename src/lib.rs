@@ -35,6 +35,14 @@
 //!   stand in for the NYC / Chengdu taxi datasets, with cancellation,
 //!   fleet-churn and multi-region demand knobs (`nyc_like`,
 //!   `chengdu_like` and the 1M-request `metropolis` presets).
+//! - [`obs`] — the zero-overhead observability plane (DESIGN.md §11):
+//!   a static metrics registry (counters, gauges, log-scale
+//!   histograms), a lock-free span flight recorder, and a
+//!   Prometheus-text exposition with its own format checker.
+//!   Instrumentation call sites are compiled into the other layers
+//!   only under the `obs` cargo feature and activated at runtime via
+//!   `URPSM_OBS=1` (or [`obs::set_enabled`]); `urpsm-serve
+//!   --metrics-file` dumps the exposition every tick.
 //!
 //! ## The streaming API
 //!
@@ -93,6 +101,7 @@ pub use road_network as network;
 pub use urpsm_baselines as baselines;
 pub use urpsm_core as core;
 pub use urpsm_dispatch as dispatch;
+pub use urpsm_obs as obs;
 pub use urpsm_server as server;
 pub use urpsm_simulator as simulator;
 pub use urpsm_workloads as workloads;

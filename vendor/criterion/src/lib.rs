@@ -25,6 +25,7 @@ pub struct Criterion {
     json_path: Option<String>,
     records: Vec<JsonRecord>,
     meta: Vec<(String, String)>,
+    raw_sections: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -36,6 +37,7 @@ impl Default for Criterion {
             json_path: None,
             records: Vec::new(),
             meta: Vec::new(),
+            raw_sections: Vec::new(),
         }
     }
 }
@@ -134,6 +136,22 @@ impl Criterion {
         self.meta.push((key.into(), value.to_string()));
     }
 
+    /// Attaches a pre-rendered JSON value as a top-level section of the
+    /// `--json` artifact, keyed by `key`. The value is emitted verbatim
+    /// — the caller vouches that it is well-formed JSON. Not part of
+    /// upstream criterion; benches use it to embed structured run
+    /// context (e.g. a metrics snapshot) alongside the timing results.
+    /// A repeated key replaces the earlier value.
+    pub fn raw_section(&mut self, key: impl Into<String>, json: impl Into<String>) {
+        let key = key.into();
+        let json = json.into();
+        if let Some(slot) = self.raw_sections.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = json;
+        } else {
+            self.raw_sections.push((key, json));
+        }
+    }
+
     /// Writes the `--json` artifact, if one was requested. Called by
     /// [`criterion_main!`] after every group has run; harmless (a
     /// no-op) without `--json`.
@@ -173,7 +191,11 @@ impl Criterion {
                 if i + 1 == self.records.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        for (key, json) in &self.raw_sections {
+            out.push_str(&format!(",\n  \"{}\": {}", json_escape(key), json));
+        }
+        out.push_str("\n}\n");
         match std::fs::write(path, out) {
             Ok(()) => eprintln!("criterion shim: wrote {path}"),
             Err(e) => eprintln!("criterion shim: failed to write {path}: {e}"),

@@ -19,7 +19,7 @@
 use road_network::{Cost, INF};
 use urpsm_core::insertion::{linear_dp_insertion_with, InsertionScratch};
 use urpsm_core::planner::{Planner, PlannerReplies};
-use urpsm_core::platform::{Outcome, PlatformState};
+use urpsm_core::platform::{CandidateBuf, Outcome, PlatformState};
 use urpsm_core::route::{InsertionPlan, Route};
 use urpsm_core::types::{Request, RequestId, Time, WorkerId};
 
@@ -52,7 +52,7 @@ pub struct BatchPlanner {
     buffer: Vec<Request>,
     epoch_end: Option<Time>,
     scratch: InsertionScratch,
-    candidates: Vec<WorkerId>,
+    candidates: CandidateBuf,
     /// Reusable simulated route for the per-worker group trial —
     /// `clone_from`-ed over each candidate's route instead of cloning
     /// a fresh one per worker.
@@ -84,6 +84,11 @@ impl BatchPlanner {
     /// and `b` within their deadlines? (The RV-graph edge test of the
     /// original paper, reduced to the insertion machinery.)
     fn shareable(&mut self, state: &PlatformState, now: Time, a: &Request, b: &Request) -> bool {
+        // Class compatibility is the platform's call, not ours: two
+        // requests no single vehicle class may co-serve never group.
+        if !state.classes_compatible(a, b) {
+            return false;
+        }
         let oracle = state.oracle();
         let capacity = a.capacity + b.capacity;
         let mut route = Route::new(a.origin, now);
@@ -135,11 +140,14 @@ impl BatchPlanner {
             let lead = &group[0];
             let direct = oracle.dis(lead.origin, lead.destination);
             let mut candidates = std::mem::take(&mut self.candidates);
-            state.candidate_workers(lead, direct.min(INF - 1), &mut candidates);
+            // The group-level eligibility seam: workers must be
+            // class-eligible for *every* member, not just the lead.
+            let eligible =
+                state.group_candidate_workers(&group, direct.min(INF - 1), &mut candidates);
 
             // Simulate the whole group on a clone of each candidate.
             let mut best: Option<GroupAssignment> = None;
-            for &w in &candidates {
+            for w in eligible.iter() {
                 if taken[w.idx()] {
                     continue;
                 }
@@ -300,6 +308,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -310,6 +319,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, release: Time, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

@@ -24,7 +24,7 @@ use road_network::{cost_add, Cost, INF};
 use urpsm_core::decision::decision_phase;
 use urpsm_core::insertion::{linear_dp_insertion_with, InsertionScratch};
 use urpsm_core::planner::{reply_one, Planner, PlannerReplies};
-use urpsm_core::platform::{Outcome, PlatformState};
+use urpsm_core::platform::{CandidateBuf, Outcome, PlatformState};
 use urpsm_core::route::Route;
 use urpsm_core::types::{Request, Stop, StopKind, Time, WorkerId};
 
@@ -57,7 +57,7 @@ impl Default for KineticConfig {
 #[derive(Debug, Default)]
 pub struct KineticPlanner {
     cfg: KineticConfig,
-    candidates: Vec<WorkerId>,
+    candidates: CandidateBuf,
     scratch: InsertionScratch,
     overflows: u64,
     /// Orderable items of the current evaluation.
@@ -344,10 +344,12 @@ impl Planner for KineticPlanner {
             return reply_one(r.id, Outcome::Rejected);
         }
         let mut candidates = std::mem::take(&mut self.candidates);
-        state.candidate_workers(r, direct, &mut candidates);
+        let eligible = state.candidate_workers(r, direct, &mut candidates);
 
-        // Same economic gate as the DP planners (§6.2, Fig. 7).
-        let decision = decision_phase(self.cfg.alpha, state, &candidates, r, direct);
+        // Same economic gate as the DP planners (§6.2, Fig. 7). The
+        // opaque eligibility view is consumed here; past this point the
+        // search only sees the surviving `(LB, worker)` pairs.
+        let decision = decision_phase(self.cfg.alpha, state, eligible, r, direct);
         if decision.reject {
             self.candidates = candidates;
             state.reject(r);
@@ -428,6 +430,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -438,6 +441,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

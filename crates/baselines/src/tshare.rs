@@ -130,6 +130,10 @@ impl Planner for TSharePlanner {
         }
         self.candidates.sort_unstable();
         self.candidates.dedup();
+        // T-Share builds its own spatial shortlist, so the class half
+        // of the platform's eligibility seam is applied explicitly —
+        // the same filter `candidate_workers` fuses into its grid scan.
+        state.retain_class_eligible(r, &mut self.candidates);
 
         // Basic insertion per shortlisted worker, keep the minimum.
         let mut best: Option<(Cost, WorkerId, InsertionPlan)> = None;
@@ -198,6 +202,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -208,6 +213,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

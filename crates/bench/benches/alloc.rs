@@ -49,7 +49,7 @@ mod gated {
     use urpsm_bench::harness::Algo;
     use urpsm_core::planner::Planner;
     use urpsm_core::platform::{Outcome, PlatformState};
-    use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
+    use urpsm_core::types::{ClassConstraint, ClassId, Request, RequestId, Time, Worker, WorkerId};
 
     /// Streets on a line, 150 cs of travel per metre-spaced vertex.
     const VERTICES: usize = 512;
@@ -101,6 +101,7 @@ mod gated {
                 id: WorkerId(i),
                 origin: VertexId(i * spacing),
                 capacity: 4,
+                class: ClassId::STANDARD,
             })
             .collect()
     }
@@ -121,6 +122,7 @@ mod gated {
             deadline: shift + 2_000_000,
             penalty: u64::MAX / 4,
             capacity: 1,
+            class: ClassConstraint::Any,
         }
     }
 

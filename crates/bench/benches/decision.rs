@@ -24,6 +24,7 @@ fn line_oracle(n: usize) -> MatrixOracle {
 
 fn request(id: u32, o: u32, d: u32) -> Request {
     Request {
+        class: Default::default(),
         id: RequestId(id),
         origin: VertexId(o),
         destination: VertexId(d),

@@ -49,6 +49,7 @@ fn sim_config(scenario: &Scenario) -> SimConfig {
         threads: 0,
         congestion: scenario.congestion.clone(),
         td_oracle: false,
+        classes: scenario.classes.clone(),
     }
 }
 

@@ -101,6 +101,7 @@ impl CityFixture {
                     .round()
                     .max(1.0);
                 Worker {
+                    class: Default::default(),
                     id: WorkerId(i as u32),
                     origin,
                     capacity: cap as u32,
@@ -130,6 +131,7 @@ impl CityFixture {
             shards: 0,
             congestion: None,
             td_oracle: false,
+            classes: None,
         }
     }
 

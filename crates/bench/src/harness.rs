@@ -76,6 +76,7 @@ impl Algo {
 }
 
 /// One cell's inputs: a fleet, a stream, the platform parameters.
+#[derive(Clone)]
 pub struct Cell {
     /// Shared (possibly cached) oracle.
     pub oracle: Arc<dyn DistanceOracle>,
@@ -107,6 +108,11 @@ pub struct Cell {
     /// constructors leave this `false` so the `URPSM_TD_ORACLE`
     /// environment default does not leak into benches.
     pub td_oracle: bool,
+    /// Vehicle-class table of the cell's fleet (`SimConfig::classes`
+    /// semantics). Like `congestion`, cell constructors leave this
+    /// `None` so the `URPSM_FLEET` environment default does not leak
+    /// into benches — the `experiments fleet` table opts in.
+    pub classes: Option<Arc<urpsm_core::types::ClassTable>>,
 }
 
 /// One cell's measured outputs.
@@ -121,6 +127,9 @@ pub struct CellResult {
     pub queries: QueryStats,
     /// Index memory (tshare: sorted-cell grid; others: plain grid).
     pub index_mem_bytes: usize,
+    /// Served requests per vehicle class (one entry for a homogeneous
+    /// fleet; indexed by `ClassId` otherwise).
+    pub per_class_served: Vec<usize>,
     /// Audit verdict (must be empty).
     pub audit_errors: Vec<String>,
 }
@@ -146,6 +155,7 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
             threads: cell.threads,
             congestion: cell.congestion.clone(),
             td_oracle: cell.td_oracle,
+            classes: cell.classes.clone(),
         },
     );
     let mut planner = algo.planner(cell.alpha, cell.grid_cell_m);
@@ -165,6 +175,7 @@ pub fn run_cell(cell: &Cell, algo: Algo) -> CellResult {
         response_time: out.metrics.response_time(),
         queries: counting.stats(),
         index_mem_bytes,
+        per_class_served: out.metrics.per_class.iter().map(|c| c.served).collect(),
         audit_errors: out.audit_errors,
     }
 }
@@ -191,6 +202,7 @@ fn run_cell_sharded(
                 threads: 0,
                 congestion: cell.congestion.clone(),
                 td_oracle: cell.td_oracle,
+                classes: cell.classes.clone(),
             },
             ..ShardConfig::default()
         },
@@ -217,6 +229,7 @@ fn run_cell_sharded(
         response_time: out.metrics.response_time(),
         queries: counting.stats(),
         index_mem_bytes,
+        per_class_served: out.metrics.per_class.iter().map(|c| c.served).collect(),
         audit_errors: out.audit_errors,
     }
 }

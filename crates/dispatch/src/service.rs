@@ -41,6 +41,7 @@ use urpsm_core::event::{EventRouting, PlatformEvent};
 use urpsm_core::exec::WorkPool;
 use urpsm_core::objective::UnifiedCost;
 use urpsm_core::planner::Planner;
+use urpsm_core::platform::CandidateBuf;
 use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
 use urpsm_simulator::engine::{SimConfig, SimOutcome};
 use urpsm_simulator::metrics::SimMetrics;
@@ -550,6 +551,21 @@ impl<'p> ShardedService<'p> {
                 .iter()
                 .map(|r| r.outcome.metrics.driven_distance)
                 .sum(),
+            per_class: {
+                // Shards share one class table, so the per-class
+                // vectors line up index for index; merge element-wise.
+                let mut merged: Vec<urpsm_simulator::metrics::ClassMetrics> = Vec::new();
+                for r in &reports {
+                    for (i, c) in r.outcome.metrics.per_class.iter().enumerate() {
+                        if merged.len() <= i {
+                            merged.resize(i + 1, Default::default());
+                        }
+                        merged[i].served += c.served;
+                        merged[i].driven_distance += c.driven_distance;
+                    }
+                }
+                merged
+            },
         };
         let audit_errors = reports
             .iter()
@@ -635,14 +651,17 @@ impl<'p> ShardedService<'p> {
         urpsm_obs::with(|m| m.borrow_probes.inc());
         let origin_p = self.oracle.point(r.origin);
         let direct = self.oracle.dis(r.origin, r.destination);
-        let mut cands: Vec<WorkerId> = Vec::new();
+        let mut cands = CandidateBuf::new();
 
         // Best straight-line pickup distance any home candidate offers.
+        // `candidate_workers` is the eligibility seam, so a borrow probe
+        // respects the request's class constraint on both sides of the
+        // shard boundary for free.
         let home_state = self.shards[home].service.state();
-        home_state.candidate_workers(r, direct, &mut cands);
-        let local_best = cands
+        let local_best = home_state
+            .candidate_workers(r, direct, &mut cands)
             .iter()
-            .map(|&w| {
+            .map(|w| {
                 self.oracle
                     .point(home_state.agent(w).route.start_vertex())
                     .euclidean_m(&origin_p)
@@ -654,8 +673,7 @@ impl<'p> ShardedService<'p> {
         let order = self.map.nearest_order(origin_p);
         for &s in order.iter().filter(|&&s| s != home).take(probe) {
             let state = self.shards[s].service.state();
-            state.candidate_workers(r, direct, &mut cands);
-            for &w in &cands {
+            for w in state.candidate_workers(r, direct, &mut cands).iter() {
                 let agent = state.agent(w);
                 if !agent.route.is_empty() {
                     continue; // only idle workers change jurisdiction
@@ -691,6 +709,7 @@ impl<'p> ShardedService<'p> {
                     id: new_local,
                     origin: ticket.position,
                     capacity: ticket.capacity,
+                    class: ticket.class,
                 },
             });
         self.handoffs += 1;
@@ -746,6 +765,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -755,6 +775,7 @@ mod tests {
 
     fn req(id: u32, o: u32, d: u32, release: Time, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -943,6 +964,7 @@ mod tests {
             .submit(PlatformEvent::WorkerJoined {
                 at: 10,
                 worker: Worker {
+                    class: Default::default(),
                     id: WorkerId(7),
                     origin: VertexId(3),
                     capacity: 2,
@@ -960,6 +982,7 @@ mod tests {
         let replies = svc.submit(PlatformEvent::WorkerJoined {
             at: 30,
             worker: Worker {
+                class: Default::default(),
                 id: WorkerId(1),
                 origin: VertexId(48),
                 capacity: 4,

@@ -33,7 +33,7 @@ pub mod ring;
 pub mod text;
 
 pub use metrics::{Counter, Gauge, HistSummary, Histogram, ShardedHistogram};
-pub use registry::{registry, MetricsSnapshot, Registry, MAX_SHARDS};
+pub use registry::{class_slot, registry, MetricsSnapshot, Registry, MAX_CLASSES, MAX_SHARDS};
 pub use ring::{FlightRecorder, TraceEvent, TraceKind};
 pub use text::{check_exposition, render_prometheus};
 

@@ -22,6 +22,16 @@ pub fn shard_slot(shard: usize) -> usize {
     shard.min(MAX_SHARDS - 1)
 }
 
+/// Upper bound on per-vehicle-class labelled series. Classes beyond
+/// this fold into the last slot (fleets carry a handful of classes).
+pub const MAX_CLASSES: usize = 16;
+
+/// Clamp a vehicle-class id into the labelled range.
+#[inline]
+pub fn class_slot(class: usize) -> usize {
+    class.min(MAX_CLASSES - 1)
+}
+
 /// Every metric the system records, by name. See DESIGN.md §11 for the
 /// layout rationale.
 #[derive(Debug)]
@@ -128,6 +138,14 @@ pub struct Registry {
     /// Platform events generated by workload scenarios.
     pub workload_events: Counter,
 
+    // ── vehicle classes ────────────────────────────────────────────────
+    /// Vehicle classes in the live fleet (1 = homogeneous default).
+    pub classes_live: Gauge,
+    /// Requests served, per vehicle class.
+    pub class_served: [Counter; MAX_CLASSES],
+    /// Distance driven per vehicle class (free-flow cost units).
+    pub class_driven: [Counter; MAX_CLASSES],
+
     /// The flight-recorder trace ring.
     pub ring: FlightRecorder,
 }
@@ -184,6 +202,9 @@ impl Registry {
             kinetic_reorders: Counter::new(),
             batch_epochs: Counter::new(),
             workload_events: Counter::new(),
+            classes_live: Gauge::new(),
+            class_served: std::array::from_fn(|_| Counter::new()),
+            class_driven: std::array::from_fn(|_| Counter::new()),
             ring: FlightRecorder::with_capacity(ring_cap),
         }
     }
@@ -246,6 +267,15 @@ impl Registry {
             kinetic_reorders: self.kinetic_reorders.get(),
             batch_epochs: self.batch_epochs.get(),
             workload_events: self.workload_events.get(),
+            classes_live: self.classes_live.get(),
+            class_served: {
+                let live = (self.classes_live.get() as usize).min(MAX_CLASSES);
+                (0..live).map(|c| self.class_served[c].get()).collect()
+            },
+            class_driven: {
+                let live = (self.classes_live.get() as usize).min(MAX_CLASSES);
+                (0..live).map(|c| self.class_driven[c].get()).collect()
+            },
             trace_recorded: self.ring.recorded(),
         }
     }
@@ -310,6 +340,9 @@ pub struct MetricsSnapshot {
     pub kinetic_reorders: u64,
     pub batch_epochs: u64,
     pub workload_events: u64,
+    pub classes_live: u64,
+    pub class_served: Vec<u64>,
+    pub class_driven: Vec<u64>,
     pub trace_recorded: u64,
 }
 
@@ -375,14 +408,21 @@ impl MetricsSnapshot {
         }
         hist_json(&mut o, "wal_flush_ns", &self.wal_flush_ns);
         o.push(',');
-        o.push_str("\"shard_events\":[");
-        for (i, v) in self.shard_events.iter().enumerate() {
-            if i > 0 {
-                o.push(',');
+        for (key, values) in [
+            ("shard_events", &self.shard_events),
+            ("class_served", &self.class_served),
+            ("class_driven", &self.class_driven),
+        ] {
+            o.push_str(&format!("\"{key}\":["));
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push_str(&v.to_string());
             }
-            o.push_str(&v.to_string());
+            o.push_str("],");
         }
-        o.push_str("],");
+        o.push_str(&format!("\"classes_live\":{},", self.classes_live));
         for (k, v) in [
             ("recovery_runs", self.recovery_runs),
             ("recovery_replayed", self.recovery_replayed),
@@ -421,6 +461,9 @@ mod tests {
             "td_dis_hit_rate",
             "wal_flush_ns",
             "shard_events",
+            "class_served",
+            "class_driven",
+            "classes_live",
             "trace_recorded",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");

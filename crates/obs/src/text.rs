@@ -333,6 +333,39 @@ pub fn render_prometheus(reg: &Registry) -> String {
         "Platform events generated by scenarios",
         reg.workload_events.get(),
     );
+    gauge(
+        &mut o,
+        "urpsm_classes_live",
+        "Vehicle classes in the live fleet",
+        reg.classes_live.get(),
+    );
+    let live_classes = (reg.classes_live.get() as usize).min(crate::registry::MAX_CLASSES);
+    if live_classes > 0 {
+        let _ = writeln!(
+            o,
+            "# HELP urpsm_class_served_total Requests served per vehicle class"
+        );
+        let _ = writeln!(o, "# TYPE urpsm_class_served_total counter");
+        for c in 0..live_classes {
+            let _ = writeln!(
+                o,
+                "urpsm_class_served_total{{class=\"{c}\"}} {}",
+                reg.class_served[c].get()
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP urpsm_class_driven_total Distance driven per vehicle class (free-flow units)"
+        );
+        let _ = writeln!(o, "# TYPE urpsm_class_driven_total counter");
+        for c in 0..live_classes {
+            let _ = writeln!(
+                o,
+                "urpsm_class_driven_total{{class=\"{c}\"}} {}",
+                reg.class_driven[c].get()
+            );
+        }
+    }
     counter(
         &mut o,
         "urpsm_trace_recorded_total",
@@ -541,11 +574,16 @@ mod tests {
         reg.shards_live.observe_max(2);
         reg.shard_events[0].add(5);
         reg.shard_sheds[1].add(1);
+        reg.classes_live.observe_max(3);
+        reg.class_served[1].add(4);
+        reg.class_driven[2].add(900);
         let text = render_prometheus(reg);
         let n = check_exposition(&text).expect("exposition must parse");
         assert!(n > 40, "expected plenty of samples, got {n}");
         assert!(text.contains("urpsm_plan_latency_ns_bucket"));
         assert!(text.contains("urpsm_shard_sheds_total{shard=\"1\"}"));
+        assert!(text.contains("urpsm_class_served_total{class=\"1\"} 4"));
+        assert!(text.contains("urpsm_class_driven_total{class=\"2\"} 900"));
     }
 
     #[test]

@@ -150,6 +150,7 @@ fn build_backend(scenario: &Scenario, shards: usize, td_oracle: bool) -> Backend
         threads: 0,
         congestion: scenario.congestion.clone(),
         td_oracle,
+        classes: scenario.classes.clone(),
     };
     let t0 = start_time(scenario);
     if shards <= 1 {

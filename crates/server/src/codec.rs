@@ -16,7 +16,7 @@
 //! gzip/zip polynomial) computed over the payload.
 
 use urpsm_core::event::{PlatformEvent, ReassignPolicy};
-use urpsm_core::types::{Request, RequestId, Worker, WorkerId};
+use urpsm_core::types::{ClassConstraint, ClassId, Request, RequestId, Worker, WorkerId};
 
 /// Upper bound on an encoded event's size; anything larger in a length
 /// prefix is garbage, which lets the WAL scanner reject a corrupted
@@ -28,6 +28,18 @@ const TAG_CANCELLED: u8 = 1;
 const TAG_JOINED: u8 = 2;
 const TAG_LEFT: u8 = 3;
 const TAG_TICK: u8 = 4;
+// Version-2 records carry vehicle-class fields (DESIGN.md §12). The
+// encoder emits them *only* for non-default classes, so a single-class
+// fleet's WAL is byte-identical to the pre-class format and old logs
+// replay under the new reader unchanged.
+const TAG_ARRIVED_V2: u8 = 5;
+const TAG_JOINED_V2: u8 = 6;
+
+/// Constraint byte for [`ClassConstraint::Any`] in a v2 arrival.
+const CONSTRAINT_ANY: u8 = 0;
+/// Constraint byte for [`ClassConstraint::Only`], followed by the
+/// class id as a `u16`.
+const CONSTRAINT_ONLY: u8 = 1;
 
 // ── CRC-32 (IEEE) ────────────────────────────────────────────────────
 
@@ -65,6 +77,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // ── encode ───────────────────────────────────────────────────────────
 
 #[inline]
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -78,7 +95,12 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 pub fn encode_event(event: &PlatformEvent, out: &mut Vec<u8>) {
     match *event {
         PlatformEvent::RequestArrived(r) => {
-            out.push(TAG_ARRIVED);
+            // Unconstrained requests stay on the v1 layout so a
+            // homogeneous fleet's WAL bytes never change.
+            out.push(match r.class {
+                ClassConstraint::Any => TAG_ARRIVED,
+                ClassConstraint::Only(_) => TAG_ARRIVED_V2,
+            });
             put_u32(out, r.id.0);
             put_u32(out, r.origin.0);
             put_u32(out, r.destination.0);
@@ -86,6 +108,10 @@ pub fn encode_event(event: &PlatformEvent, out: &mut Vec<u8>) {
             put_u64(out, r.deadline);
             put_u64(out, r.penalty);
             put_u32(out, r.capacity);
+            if let ClassConstraint::Only(c) = r.class {
+                out.push(CONSTRAINT_ONLY);
+                put_u16(out, c.0);
+            }
         }
         PlatformEvent::RequestCancelled { at, request } => {
             out.push(TAG_CANCELLED);
@@ -93,11 +119,18 @@ pub fn encode_event(event: &PlatformEvent, out: &mut Vec<u8>) {
             put_u32(out, request.0);
         }
         PlatformEvent::WorkerJoined { at, worker } => {
-            out.push(TAG_JOINED);
+            out.push(if worker.class == ClassId::STANDARD {
+                TAG_JOINED
+            } else {
+                TAG_JOINED_V2
+            });
             put_u64(out, at);
             put_u32(out, worker.id.0);
             put_u32(out, worker.origin.0);
             put_u32(out, worker.capacity);
+            if worker.class != ClassId::STANDARD {
+                put_u16(out, worker.class.0);
+            }
         }
         PlatformEvent::WorkerLeft {
             at,
@@ -133,6 +166,12 @@ impl<'a> Cursor<'a> {
         Some(b)
     }
 
+    fn u16(&mut self) -> Option<u16> {
+        let s = self.bytes.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes(s.try_into().ok()?))
+    }
+
     fn u32(&mut self) -> Option<u32> {
         let s = self.bytes.get(self.pos..self.pos + 4)?;
         self.pos += 4;
@@ -155,27 +194,51 @@ impl<'a> Cursor<'a> {
 pub fn decode_event(bytes: &[u8]) -> Option<PlatformEvent> {
     let mut c = Cursor { bytes, pos: 0 };
     let ev = match c.u8()? {
-        TAG_ARRIVED => PlatformEvent::RequestArrived(Request {
-            id: RequestId(c.u32()?),
-            origin: road_network::VertexId(c.u32()?),
-            destination: road_network::VertexId(c.u32()?),
-            release: c.u64()?,
-            deadline: c.u64()?,
-            penalty: c.u64()?,
-            capacity: c.u32()?,
-        }),
+        tag @ (TAG_ARRIVED | TAG_ARRIVED_V2) => {
+            let mut r = Request {
+                class: Default::default(),
+                id: RequestId(c.u32()?),
+                origin: road_network::VertexId(c.u32()?),
+                destination: road_network::VertexId(c.u32()?),
+                release: c.u64()?,
+                deadline: c.u64()?,
+                penalty: c.u64()?,
+                capacity: c.u32()?,
+            };
+            if tag == TAG_ARRIVED_V2 {
+                r.class = match c.u8()? {
+                    // An `Any` constraint must use the v1 tag — the
+                    // canonical-form rule keeps encodings unique.
+                    CONSTRAINT_ANY => return None,
+                    CONSTRAINT_ONLY => ClassConstraint::Only(ClassId(c.u16()?)),
+                    _ => return None,
+                };
+            }
+            PlatformEvent::RequestArrived(r)
+        }
         TAG_CANCELLED => PlatformEvent::RequestCancelled {
             at: c.u64()?,
             request: RequestId(c.u32()?),
         },
-        TAG_JOINED => PlatformEvent::WorkerJoined {
-            at: c.u64()?,
-            worker: Worker {
+        tag @ (TAG_JOINED | TAG_JOINED_V2) => {
+            let at = c.u64()?;
+            let mut worker = Worker {
+                class: Default::default(),
                 id: WorkerId(c.u32()?),
                 origin: road_network::VertexId(c.u32()?),
                 capacity: c.u32()?,
-            },
-        },
+            };
+            if tag == TAG_JOINED_V2 {
+                let class = ClassId(c.u16()?);
+                // The standard class must use the v1 tag (canonical
+                // form), mirroring the encoder.
+                if class == ClassId::STANDARD {
+                    return None;
+                }
+                worker.class = class;
+            }
+            PlatformEvent::WorkerJoined { at, worker }
+        }
         TAG_LEFT => PlatformEvent::WorkerLeft {
             at: c.u64()?,
             worker: WorkerId(c.u32()?),
@@ -200,6 +263,7 @@ mod tests {
     fn samples() -> Vec<PlatformEvent> {
         vec![
             PlatformEvent::RequestArrived(Request {
+                class: Default::default(),
                 id: RequestId(7),
                 origin: VertexId(3),
                 destination: VertexId(9),
@@ -215,6 +279,7 @@ mod tests {
             PlatformEvent::WorkerJoined {
                 at: 60,
                 worker: Worker {
+                    class: Default::default(),
                     id: WorkerId(4),
                     origin: VertexId(11),
                     capacity: 6,
@@ -231,6 +296,26 @@ mod tests {
                 reassign: ReassignPolicy::Reassign,
             },
             PlatformEvent::Tick { at: Time::MAX },
+            // v2 records: class-constrained request, non-standard worker.
+            PlatformEvent::RequestArrived(Request {
+                class: ClassConstraint::Only(ClassId(2)),
+                id: RequestId(8),
+                origin: VertexId(5),
+                destination: VertexId(6),
+                release: 10,
+                deadline: 500,
+                penalty: 77,
+                capacity: 1,
+            }),
+            PlatformEvent::WorkerJoined {
+                at: 61,
+                worker: Worker {
+                    class: ClassId(1),
+                    id: WorkerId(5),
+                    origin: VertexId(12),
+                    capacity: 4,
+                },
+            },
         ]
     }
 
@@ -272,6 +357,193 @@ mod tests {
         );
         *buf.last_mut().unwrap() = 7;
         assert_eq!(decode_event(&buf), None);
+    }
+
+    #[test]
+    fn default_class_events_stay_on_the_v1_layout() {
+        // Byte stability: a homogeneous fleet's WAL must be identical
+        // to the pre-class format, so old logs and new logs agree.
+        let mut buf = Vec::new();
+        encode_event(
+            &PlatformEvent::RequestArrived(Request {
+                class: ClassConstraint::Any,
+                id: RequestId(1),
+                origin: VertexId(2),
+                destination: VertexId(3),
+                release: 4,
+                deadline: 5,
+                penalty: 6,
+                capacity: 7,
+            }),
+            &mut buf,
+        );
+        assert_eq!(buf[0], TAG_ARRIVED);
+        assert_eq!(buf.len(), 1 + 4 + 4 + 4 + 8 + 8 + 8 + 4);
+        buf.clear();
+        encode_event(
+            &PlatformEvent::WorkerJoined {
+                at: 9,
+                worker: Worker {
+                    class: ClassId::STANDARD,
+                    id: WorkerId(1),
+                    origin: VertexId(2),
+                    capacity: 3,
+                },
+            },
+            &mut buf,
+        );
+        assert_eq!(buf[0], TAG_JOINED);
+        assert_eq!(buf.len(), 1 + 8 + 4 + 4 + 4);
+    }
+
+    #[test]
+    fn v2_rejects_non_canonical_class_encodings() {
+        // A v2 arrival claiming `Any`, or a v2 join claiming the
+        // standard class, must use the v1 tag instead — unique
+        // encodings keep record identity well-defined.
+        let mut buf = Vec::new();
+        encode_event(
+            &PlatformEvent::RequestArrived(Request {
+                class: ClassConstraint::Only(ClassId(1)),
+                id: RequestId(1),
+                origin: VertexId(2),
+                destination: VertexId(3),
+                release: 4,
+                deadline: 5,
+                penalty: 6,
+                capacity: 7,
+            }),
+            &mut buf,
+        );
+        assert_eq!(buf[0], TAG_ARRIVED_V2);
+        let mut any = buf.clone();
+        // Rewrite the constraint byte to CONSTRAINT_ANY (and drop the id).
+        any.truncate(any.len() - 3);
+        any.push(CONSTRAINT_ANY);
+        any.extend_from_slice(&[0, 0]);
+        assert_eq!(decode_event(&any), None);
+
+        buf.clear();
+        encode_event(
+            &PlatformEvent::WorkerJoined {
+                at: 9,
+                worker: Worker {
+                    class: ClassId(3),
+                    id: WorkerId(1),
+                    origin: VertexId(2),
+                    capacity: 3,
+                },
+            },
+            &mut buf,
+        );
+        assert_eq!(buf[0], TAG_JOINED_V2);
+        let n = buf.len();
+        buf[n - 2] = 0;
+        buf[n - 1] = 0; // class id 0 = STANDARD
+        assert_eq!(decode_event(&buf), None);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Round trip over the full (v1 ∪ v2) record space, plus the
+        /// forward-replay guarantee: a hand-built *old-format* (v1)
+        /// record decodes under the new reader to the same event with
+        /// the class fields defaulted.
+        #[test]
+        fn arbitrary_records_round_trip_and_v1_replays(
+            variant in 0u8..7,
+            a in proptest::prelude::any::<u32>(),
+            b in proptest::prelude::any::<u32>(),
+            cap in proptest::prelude::any::<u32>(),
+            t0 in proptest::prelude::any::<u64>(),
+            t1 in proptest::prelude::any::<u64>(),
+            pen in proptest::prelude::any::<u64>(),
+            cls in proptest::prelude::any::<u16>(),
+        ) {
+            use proptest::prelude::*;
+            let ev = match variant {
+                0 | 1 => PlatformEvent::RequestArrived(Request {
+                    class: if variant == 0 {
+                        ClassConstraint::Any
+                    } else {
+                        ClassConstraint::Only(ClassId(cls))
+                    },
+                    id: RequestId(a),
+                    origin: VertexId(b),
+                    destination: VertexId(b.wrapping_add(1)),
+                    release: t0,
+                    deadline: t1,
+                    penalty: pen,
+                    capacity: cap,
+                }),
+                2 => PlatformEvent::RequestCancelled { at: t0, request: RequestId(a) },
+                3 | 4 => PlatformEvent::WorkerJoined {
+                    at: t0,
+                    worker: Worker {
+                        class: if variant == 3 { ClassId::STANDARD } else { ClassId(cls.max(1)) },
+                        id: WorkerId(a),
+                        origin: VertexId(b),
+                        capacity: cap,
+                    },
+                },
+                5 => PlatformEvent::WorkerLeft {
+                    at: t0,
+                    worker: WorkerId(a),
+                    reassign: if cap % 2 == 0 { ReassignPolicy::Drain } else { ReassignPolicy::Reassign },
+                },
+                _ => PlatformEvent::Tick { at: t0 },
+            };
+            let mut buf = Vec::new();
+            encode_event(&ev, &mut buf);
+            prop_assert!(buf.len() <= MAX_EVENT_BYTES as usize);
+            prop_assert_eq!(decode_event(&buf), Some(ev));
+            // Truncation never aliases a valid record.
+            prop_assert_eq!(decode_event(&buf[..buf.len() - 1]), None);
+
+            // Forward replay: the same fields laid out in the *old*
+            // format (no class bytes) decode to the defaulted event.
+            let mut old = Vec::new();
+            old.push(TAG_ARRIVED);
+            put_u32(&mut old, a);
+            put_u32(&mut old, b);
+            put_u32(&mut old, b.wrapping_add(1));
+            put_u64(&mut old, t0);
+            put_u64(&mut old, t1);
+            put_u64(&mut old, pen);
+            put_u32(&mut old, cap);
+            prop_assert_eq!(
+                decode_event(&old),
+                Some(PlatformEvent::RequestArrived(Request {
+                    class: ClassConstraint::Any,
+                    id: RequestId(a),
+                    origin: VertexId(b),
+                    destination: VertexId(b.wrapping_add(1)),
+                    release: t0,
+                    deadline: t1,
+                    penalty: pen,
+                    capacity: cap,
+                }))
+            );
+            let mut old = Vec::new();
+            old.push(TAG_JOINED);
+            put_u64(&mut old, t0);
+            put_u32(&mut old, a);
+            put_u32(&mut old, b);
+            put_u32(&mut old, cap);
+            prop_assert_eq!(
+                decode_event(&old),
+                Some(PlatformEvent::WorkerJoined {
+                    at: t0,
+                    worker: Worker {
+                        class: ClassId::STANDARD,
+                        id: WorkerId(a),
+                        origin: VertexId(b),
+                        capacity: cap,
+                    },
+                })
+            );
+        }
     }
 
     #[test]

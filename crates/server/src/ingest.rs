@@ -151,6 +151,7 @@ mod tests {
         let join = PlatformEvent::WorkerJoined {
             at: 5,
             worker: urpsm_core::types::Worker {
+                class: Default::default(),
                 id: urpsm_core::types::WorkerId(0),
                 origin: road_network::VertexId(0),
                 capacity: 4,

@@ -226,6 +226,7 @@ mod tests {
 
     fn req(id: u32, release: Time, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(0),
             destination: VertexId(1),
@@ -238,6 +239,7 @@ mod tests {
 
     fn worker(cap: u32) -> Worker {
         Worker {
+            class: Default::default(),
             id: WorkerId(0),
             origin: VertexId(0),
             capacity: cap,
@@ -473,6 +475,7 @@ mod tests {
         let ws = [
             worker(4),
             Worker {
+                class: Default::default(),
                 id: WorkerId(1),
                 origin: VertexId(0),
                 capacity: 4,

@@ -56,6 +56,13 @@ pub struct SimConfig {
     /// `URPSM_TD_ORACLE` environment variable, mirroring
     /// `URPSM_CONGESTION`.
     pub td_oracle: bool,
+    /// Vehicle-class table of the fleet (DESIGN.md §12). `None` is the
+    /// homogeneous single-standard-class fleet — the pre-class code
+    /// path, byte for byte. A table is installed into the platform at
+    /// open, which composes each class's speed multiplier into route
+    /// schedules and arms the per-class capacity/range feasibility
+    /// gates; planners never see it (the eligibility seam).
+    pub classes: Option<Arc<urpsm_core::types::ClassTable>>,
 }
 
 impl Default for SimConfig {
@@ -67,6 +74,7 @@ impl Default for SimConfig {
             threads: 0,
             congestion: road_network::congestion::congestion_from_env(),
             td_oracle: road_network::td::td_oracle_from_env(),
+            classes: None,
         }
     }
 }
@@ -216,6 +224,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -225,6 +234,7 @@ mod tests {
 
     fn req(id: u32, o: u32, d: u32, release: Time, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

@@ -34,7 +34,7 @@ pub mod timeline;
 pub mod prelude {
     pub use crate::audit::audit_events;
     pub use crate::engine::{SimConfig, SimError, SimOutcome, Simulation};
-    pub use crate::metrics::SimMetrics;
+    pub use crate::metrics::{ClassMetrics, SimMetrics};
     pub use crate::service::{MobilityService, ServiceCheckpoint, ServiceReply};
     pub use crate::timeline::{Timeline, TimelineBucket};
     pub use crate::{event_log_digest, SimEvent};

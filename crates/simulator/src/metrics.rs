@@ -5,6 +5,19 @@ use std::time::Duration;
 use road_network::Cost;
 use urpsm_core::objective::UnifiedCost;
 
+/// One vehicle class's slice of the aggregate, indexed by
+/// [`urpsm_core::types::ClassId`]. Served counts requests delivered by
+/// workers of that class; driven distance is in free-flow cost units
+/// (the economics currency — class speed stretches schedules, never
+/// distances, DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassMetrics {
+    /// Requests served by workers of this class.
+    pub served: usize,
+    /// Distance driven by workers of this class.
+    pub driven_distance: Cost,
+}
+
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMetrics {
@@ -24,6 +37,9 @@ pub struct SimMetrics {
     /// Total distance actually driven by all workers (equals the
     /// planned distance after the drain; the audit asserts this).
     pub driven_distance: Cost,
+    /// Per-class breakdown, indexed by `ClassId`. A single-class fleet
+    /// has exactly one entry whose fields mirror the aggregate.
+    pub per_class: Vec<ClassMetrics>,
 }
 
 impl SimMetrics {
@@ -59,6 +75,17 @@ impl std::fmt::Display for SimMetrics {
         if self.cancelled > 0 {
             write!(f, " cancelled={}", self.cancelled)?;
         }
+        // Single-class fleets print exactly the pre-class line.
+        if self.per_class.len() > 1 {
+            write!(f, " per-class=[")?;
+            for (i, c) in self.per_class.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "c{i}:{}/{}", c.served, c.driven_distance)?;
+            }
+            write!(f, "]")?;
+        }
         Ok(())
     }
 }
@@ -81,6 +108,10 @@ mod tests {
             },
             planning_time: Duration::from_millis(8),
             driven_distance: 100,
+            per_class: vec![ClassMetrics {
+                served: 3,
+                driven_distance: 100,
+            }],
         };
         assert_eq!(m.served_rate(), 0.75);
         assert_eq!(m.response_time(), Duration::from_millis(2));
@@ -98,6 +129,7 @@ mod tests {
             unified_cost: UnifiedCost::default(),
             planning_time: Duration::ZERO,
             driven_distance: 0,
+            per_class: Vec::new(),
         };
         assert_eq!(m.served_rate(), 0.0);
         assert_eq!(m.response_time(), Duration::ZERO);

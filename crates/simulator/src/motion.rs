@@ -91,21 +91,44 @@ impl WorkerMotion {
         let leg_base = route.leg(1);
         let congestion: Option<&dyn TravelTimeProvider> =
             route.congestion().map(|p| p.as_ref() as _);
+        // Mirror of `Route::class_base`: the vehicle-class multiplier
+        // stretches the free-flow base *before* any provider sees it.
+        // Offsets in `path` stay in unscaled free-flow units (the
+        // driven ledger's currency); only timestamps stretch.
+        let pm = route.speed_permille();
+        let stretch = |b: Cost| -> Cost {
+            if pm == urpsm_core::types::SPEED_BASELINE_PM || b >= INF {
+                b
+            } else {
+                b.saturating_mul(Cost::from(pm)) / 1_000
+            }
+        };
         // Vertex time at cumulative free-flow offset `b`, integrated
-        // from the leg start — the same function `Route::rebuild` used
-        // for arr[1], so the endpoints agree by construction.
+        // from the leg start — the same composition `Route::rebuild`
+        // used for arr[1] (class stretch, then provider), so the
+        // endpoints agree by construction.
         let at_offset = |b: Cost| match congestion {
-            None => cost_add(t0, b),
-            Some(p) => cost_add(t0, p.leg_time(from, b, t0)),
+            None => cost_add(t0, stretch(b)),
+            Some(p) => cost_add(t0, p.leg_time(from, stretch(b), t0)),
         };
         self.path.push((from, t0, 0));
         // A rerouting provider (road_network::td) knows which vertices
         // the leg actually visits *at this departure time* — ask it
         // first. It emits nothing and returns false in every static
         // case (flat profile, degenerate legs), where the free-flow
-        // shortest path below is exact.
+        // shortest path below is exact. The provider is handed the
+        // class-stretched base (exactly what the route's schedule fed
+        // it), and the offsets it emits — relative to that scaled
+        // base — are renormalized back onto the stored free-flow base
+        // so the final offset lands exactly on `leg_base`.
+        let scaled_base = stretch(leg_base);
         let td_expanded = match congestion {
-            Some(p) => p.td_expand(from, to, leg_base, t0, &mut |v, at, off| {
+            Some(p) => p.td_expand(from, to, scaled_base, t0, &mut |v, at, off| {
+                let off = if scaled_base == leg_base || scaled_base == 0 {
+                    off
+                } else {
+                    ((u128::from(off) * u128::from(leg_base)) / u128::from(scaled_base)) as Cost
+                };
                 self.path.push((v, at, off));
             }),
             None => false,
@@ -262,6 +285,7 @@ mod tests {
     fn setup() -> (PlatformState, Arc<MatrixOracle>) {
         let oracle = line_oracle(30);
         let ws = vec![Worker {
+            class: Default::default(),
             id: WorkerId(0),
             origin: VertexId(0),
             capacity: 4,
@@ -272,6 +296,7 @@ mod tests {
 
     fn assign(state: &mut PlatformState, id: u32, o: u32, d: u32) {
         let r = Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -395,6 +420,7 @@ mod tests {
         // the driven ledger hold exactly.
         let oracle = Pathless(line_oracle(30));
         let ws = vec![Worker {
+            class: Default::default(),
             id: WorkerId(0),
             origin: VertexId(0),
             capacity: 4,
@@ -429,6 +455,7 @@ mod tests {
         use urpsm_core::types::Stop;
         let (mut state, oracle) = setup();
         let r = Request {
+            class: Default::default(),
             id: RequestId(1),
             origin: VertexId(4),
             destination: VertexId(6),

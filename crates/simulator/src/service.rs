@@ -131,6 +131,9 @@ impl<'p> MobilityService<'p> {
                 };
             state.set_congestion(Some(provider));
         }
+        if let Some(classes) = &config.classes {
+            state.set_classes(Arc::clone(classes));
+        }
         let motions = vec![WorkerMotion::default(); workers.len()];
         MobilityService {
             state,
@@ -304,6 +307,31 @@ impl<'p> MobilityService<'p> {
                 None
             },
         );
+        // Per-class breakdown: each request is attributed to the class
+        // of the worker that holds it at the end of the run (cancels
+        // and strips already removed theirs), driven distance to the
+        // motion ledger of each worker.
+        let mut per_class =
+            vec![crate::metrics::ClassMetrics::default(); self.state.classes().len()];
+        for (a, d) in self.state.agents().iter().zip(&driven) {
+            // A fleet tagged with classes but driven without a table
+            // (no `SimConfig::classes`) still reports its breakdown.
+            if a.worker.class.idx() >= per_class.len() {
+                per_class.resize(a.worker.class.idx() + 1, Default::default());
+            }
+            let c = &mut per_class[a.worker.class.idx()];
+            c.served += a.assigned_requests.len();
+            c.driven_distance += *d;
+        }
+        #[cfg(feature = "obs")]
+        urpsm_obs::with(|m| {
+            m.classes_live.observe_max(per_class.len() as u64);
+            for (i, c) in per_class.iter().enumerate() {
+                let slot = urpsm_obs::class_slot(i);
+                m.class_served[slot].add(c.served as u64);
+                m.class_driven[slot].add(c.driven_distance);
+            }
+        });
         let metrics = SimMetrics {
             requests: self.arrived.len(),
             served: self.served,
@@ -312,6 +340,7 @@ impl<'p> MobilityService<'p> {
             unified_cost: self.state.unified_cost(self.config.alpha),
             planning_time: self.planning_time,
             driven_distance: driven.iter().sum(),
+            per_class,
         };
         SimOutcome {
             metrics,
@@ -529,6 +558,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -538,6 +568,7 @@ mod tests {
 
     fn req(id: u32, o: u32, d: u32, release: Time, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -718,6 +749,7 @@ mod tests {
         // vertex 0 cannot make it in time.
         let r = req(0, 40, 45, 1_000, 2_200);
         let joined = Worker {
+            class: Default::default(),
             id: WorkerId(1),
             origin: VertexId(39),
             capacity: 4,
@@ -762,6 +794,7 @@ mod tests {
             .submit(PlatformEvent::WorkerJoined {
                 at: 20,
                 worker: Worker {
+                    class: Default::default(),
                     id: WorkerId(7),
                     origin: VertexId(3),
                     capacity: 2,

@@ -136,6 +136,7 @@ mod tests {
 
     fn req(id: u32, release: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(0),
             destination: VertexId(1),

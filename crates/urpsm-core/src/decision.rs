@@ -15,7 +15,7 @@ use road_network::Cost;
 
 use crate::exec::{IndexFeed, WorkPool};
 use crate::lower_bound::insertion_lower_bound;
-use crate::platform::{FleetView, PlatformState};
+use crate::platform::{EligibleCandidates, FleetView, PlatformState};
 use crate::shortlist::LowerBoundSink;
 use crate::types::{Request, WorkerId};
 
@@ -66,12 +66,15 @@ pub(crate) fn collect_lower_bounds<S: LowerBoundSink>(
     }
 }
 
-/// Runs Algo. 4 over `candidates`. `direct` is `L = dis(o_r, d_r)`,
-/// queried once by the caller.
+/// Runs Algo. 4 over the platform's eligibility shortlist. `direct` is
+/// `L = dis(o_r, d_r)`, queried once by the caller. Taking the opaque
+/// [`EligibleCandidates`] view (rather than raw worker ids) means every
+/// caller — in-tree planners and external baselines alike — can only
+/// score workers the platform seam cleared.
 pub fn decision_phase(
     alpha: u64,
     state: &PlatformState,
-    candidates: &[WorkerId],
+    candidates: EligibleCandidates<'_>,
     r: &Request,
     direct: Cost,
 ) -> DecisionOutcome {
@@ -98,10 +101,11 @@ pub fn decision_phase_with(
     pool: &WorkPool,
     alpha: u64,
     view: FleetView<'_>,
-    candidates: &[WorkerId],
+    candidates: EligibleCandidates<'_>,
     r: &Request,
     direct: Cost,
 ) -> DecisionOutcome {
+    let candidates = candidates.as_ids();
     if !pool.is_parallel() || candidates.len() < 2 * pool.threads() {
         let mut lower_bounds = Vec::with_capacity(candidates.len());
         collect_lower_bounds(
@@ -180,6 +184,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -190,6 +195,7 @@ mod tests {
 
     fn request(o: u32, d: u32, deadline: Time, penalty: u64) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(0),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -206,7 +212,7 @@ mod tests {
         let r = request(12, 20, 100_000, 1_000_000);
         let cands = vec![WorkerId(0), WorkerId(1), WorkerId(2)];
         let direct = state.oracle().dis(r.origin, r.destination);
-        let out = decision_phase(1, &state, &cands, &r, direct);
+        let out = decision_phase(1, &state, EligibleCandidates::from_ids(&cands), &r, direct);
         assert!(!out.reject);
         assert_eq!(out.lower_bounds.len(), 3);
         // Worker 1 (at x=10) is nearest the pickup at x=12.
@@ -224,7 +230,13 @@ mod tests {
         // 1 is always cheaper, so reject.
         let r = request(50, 58, 100_000, 1);
         let direct = state.oracle().dis(r.origin, r.destination);
-        let out = decision_phase(1, &state, &[WorkerId(0)], &r, direct);
+        let out = decision_phase(
+            1,
+            &state,
+            EligibleCandidates::from_ids(&[WorkerId(0)]),
+            &r,
+            direct,
+        );
         assert!(out.reject);
         assert!(out.min_lower_bound().unwrap() > 1);
     }
@@ -234,7 +246,13 @@ mod tests {
         let state = state(&[0]);
         let r = request(50, 58, 100_000, 1);
         let direct = state.oracle().dis(r.origin, r.destination);
-        let out = decision_phase(0, &state, &[WorkerId(0)], &r, direct);
+        let out = decision_phase(
+            0,
+            &state,
+            EligibleCandidates::from_ids(&[WorkerId(0)]),
+            &r,
+            direct,
+        );
         assert!(!out.reject, "α = 0 makes any service free in Eq. 1");
     }
 
@@ -242,7 +260,7 @@ mod tests {
     fn no_candidates_rejects() {
         let state = state(&[0]);
         let r = request(5, 6, 100_000, 1_000);
-        let out = decision_phase(1, &state, &[], &r, 200);
+        let out = decision_phase(1, &state, EligibleCandidates::from_ids(&[]), &r, 200);
         assert!(out.reject);
         assert!(out.min_lower_bound().is_none());
     }
@@ -255,10 +273,18 @@ mod tests {
         let cands: Vec<WorkerId> = (0..40).map(WorkerId).collect();
         let r = request(31, 47, 100_000, 1_000_000);
         let direct = state.oracle().dis(r.origin, r.destination);
-        let sequential = decision_phase(1, &state, &cands, &r, direct);
+        let sequential =
+            decision_phase(1, &state, EligibleCandidates::from_ids(&cands), &r, direct);
         for threads in [1, 2, 4, 8] {
             let pool = WorkPool::new(threads);
-            let par = decision_phase_with(&pool, 1, state.view(), &cands, &r, direct);
+            let par = decision_phase_with(
+                &pool,
+                1,
+                state.view(),
+                EligibleCandidates::from_ids(&cands),
+                &r,
+                direct,
+            );
             assert_eq!(sequential, par, "threads = {threads}");
         }
     }
@@ -270,7 +296,13 @@ mod tests {
         // can't even straight-line there, worker 1 (at 50) can.
         let r = request(49, 50, 300, 1_000_000);
         let direct = state.oracle().dis(r.origin, r.destination); // 200
-        let out = decision_phase(1, &state, &[WorkerId(0), WorkerId(1)], &r, direct);
+        let out = decision_phase(
+            1,
+            &state,
+            EligibleCandidates::from_ids(&[WorkerId(0), WorkerId(1)]),
+            &r,
+            direct,
+        );
         assert_eq!(out.lower_bounds.len(), 1);
         assert_eq!(out.lower_bounds[0].1, WorkerId(1));
     }

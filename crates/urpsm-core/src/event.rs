@@ -175,6 +175,7 @@ mod tests {
 
     fn req(id: u32, release: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(0),
             destination: VertexId(1),
@@ -191,6 +192,7 @@ mod tests {
             PlatformEvent::WorkerJoined {
                 at: 5,
                 worker: Worker {
+                    class: Default::default(),
                     id: WorkerId(0),
                     origin: VertexId(0),
                     capacity: 4,
@@ -231,6 +233,7 @@ mod tests {
             PlatformEvent::WorkerJoined {
                 at: 0,
                 worker: Worker {
+                    class: Default::default(),
                     id: WorkerId(2),
                     origin: VertexId(7),
                     capacity: 4,

@@ -170,6 +170,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

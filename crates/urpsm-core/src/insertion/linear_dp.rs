@@ -259,6 +259,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -339,6 +340,7 @@ mod tests {
         // worker is at v1, exactly the state of Example 2).
         let mut route = Route::new(VertexId(0), 5);
         let r1 = Request {
+            class: Default::default(),
             id: RequestId(1),
             origin: VertexId(1),
             destination: VertexId(3),
@@ -374,6 +376,7 @@ mod tests {
 
         // Insert r2 = v3 → v5, released at 5, deadline 26, K_w = 4.
         let r2 = Request {
+            class: Default::default(),
             id: RequestId(2),
             origin: VertexId(2),
             destination: VertexId(4),

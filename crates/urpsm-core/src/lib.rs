@@ -59,8 +59,12 @@ pub mod prelude {
     pub use crate::objective::{ObjectivePreset, UnifiedCost};
     pub use crate::planner::{GreedyDp, Planner, PlannerConfig, PruneGreedyDp};
     pub use crate::platform::{
-        CancelOutcome, FleetView, HandoffTicket, Outcome, PlatformState, WorkerAgent,
+        CancelOutcome, CandidateBuf, EligibleCandidates, FleetView, HandoffTicket, Outcome,
+        PlatformState, WorkerAgent,
     };
     pub use crate::route::{InsertionPlan, PlanShape, Route};
-    pub use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
+    pub use crate::types::{
+        ClassConstraint, ClassId, ClassTable, Request, RequestId, Stop, StopKind, Time,
+        VehicleClass, Worker, WorkerId,
+    };
 }

@@ -30,7 +30,7 @@ use road_network::{Cost, INF};
 use crate::decision::{collect_lower_bounds, economic_reject};
 use crate::exec::{AtomicMin, IndexFeed, WorkPool};
 use crate::insertion::linear_dp_insertion_with;
-use crate::platform::{FleetView, Outcome, PlatformState};
+use crate::platform::{CandidateBuf, EligibleCandidates, FleetView, Outcome, PlatformState};
 use crate::route::InsertionPlan;
 use crate::shortlist::Shortlist;
 use crate::types::{Request, WorkerId};
@@ -59,7 +59,7 @@ struct DpEngine {
     /// route — everything a steady-state planned insertion needs, so
     /// the hot path never allocates (gated by `benches/alloc.rs`).
     scratches: Vec<PlanScratch>,
-    candidates: Vec<WorkerId>,
+    candidates: CandidateBuf,
 }
 
 impl Default for DpEngine {
@@ -74,7 +74,7 @@ impl DpEngine {
             cfg,
             pool: WorkPool::new(cfg.threads),
             scratches: vec![PlanScratch::default()],
-            candidates: Vec::new(),
+            candidates: CandidateBuf::new(),
         }
     }
 
@@ -101,9 +101,11 @@ impl DpEngine {
             return Outcome::Rejected;
         }
 
-        // Phase 0 (Algo. 5 line 3): shortlist candidates by grid index
-        // and deadline reachability.
-        state.candidate_workers(r, direct, candidates);
+        // Phase 0 (Algo. 5 line 3): the platform's eligibility seam —
+        // grid reachability joined with the class filter — handed back
+        // as an opaque view. This is the only place the engine learns
+        // which workers may compete; it cannot add its own.
+        let eligible = state.candidate_workers(r, direct, candidates);
 
         // Phases 1–2 (Algo. 4 + Algo. 5 lines 6–10): lower bounds,
         // economic test, then the exact scan in ascending LB order.
@@ -112,7 +114,7 @@ impl DpEngine {
         // scales with the shortlist so narrow requests stay serial.
         let width = pool
             .threads()
-            .min(candidates.len() / MIN_CANDIDATES_PER_THREAD);
+            .min(eligible.len() / MIN_CANDIDATES_PER_THREAD);
         let best = if width > 1 {
             #[cfg(feature = "obs")]
             urpsm_obs::with(|m| m.plan_parallel_requests.inc());
@@ -126,7 +128,7 @@ impl DpEngine {
                 prune,
                 state.view(),
                 r,
-                candidates,
+                eligible,
                 direct,
                 &*oracle,
             )
@@ -141,13 +143,13 @@ impl DpEngine {
                 state.view(),
                 r,
                 direct,
-                candidates.iter().copied(),
+                eligible.iter(),
                 &mut scratch.shortlist,
             );
             scratch.shortlist.sort_by_bound();
             if economic_reject(cfg.alpha, r, scratch.shortlist.min_lb()) {
                 #[cfg(feature = "obs")]
-                record_plan_obs(&obs_sw, r, candidates.len(), None);
+                record_plan_obs(&obs_sw, r, eligible.len(), None);
                 state.reject(r);
                 return Outcome::Rejected;
             }
@@ -173,7 +175,7 @@ impl DpEngine {
         record_plan_obs(
             &obs_sw,
             r,
-            candidates.len(),
+            eligible.len(),
             match &outcome {
                 Outcome::Assigned { delta, .. } => Some(*delta),
                 _ => None,
@@ -307,7 +309,7 @@ fn plan_fused_parallel(
     prune: bool,
     view: FleetView<'_>,
     r: &Request,
-    candidates: &[WorkerId],
+    candidates: EligibleCandidates<'_>,
     direct: Cost,
     oracle: &dyn DistanceOracle,
 ) -> Best {
@@ -356,7 +358,7 @@ fn plan_fused_parallel(
                     view,
                     r,
                     direct,
-                    std::iter::from_fn(|| lb_feed.next().map(|i| candidates[i])),
+                    std::iter::from_fn(|| lb_feed.next().map(|i| candidates.get(i))),
                     local_lbs,
                 );
                 if !local_lbs.is_empty() {
@@ -579,6 +581,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| Worker {
+                class: Default::default(),
                 id: WorkerId(i as u32),
                 origin: VertexId(v),
                 capacity: 4,
@@ -589,6 +592,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time, penalty: u64) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

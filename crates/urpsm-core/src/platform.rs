@@ -36,7 +36,9 @@ use road_network::{Cost, VertexId};
 
 use crate::objective::UnifiedCost;
 use crate::route::{InsertionPlan, Route};
-use crate::types::{Request, RequestId, Stop, StopKind, Time, Worker, WorkerId};
+use crate::types::{
+    ClassId, ClassTable, Request, RequestId, Stop, StopKind, Time, Worker, WorkerId,
+};
 
 /// A worker together with its live route and accounting.
 #[derive(Debug, Clone)]
@@ -105,6 +107,10 @@ pub struct HandoffTicket {
     pub position: VertexId,
     /// The worker's capacity `K_w`.
     pub capacity: u32,
+    /// The worker's vehicle class — class identity survives the
+    /// handoff, so borrow probes on the receiving platform apply the
+    /// same eligibility filter the home platform would have.
+    pub class: ClassId,
 }
 
 /// Per-request outcome reported by planners.
@@ -148,6 +154,80 @@ pub struct PlatformState {
     /// Departure-time-aware travel times, installed into every route
     /// (present and future); `None` = free flow.
     congestion: Option<Arc<dyn TravelTimeProvider>>,
+    /// The fleet's vehicle classes. The default single-class table
+    /// makes every class hook a no-op — the paper's homogeneous
+    /// setting, byte-identical to the pre-class platform.
+    classes: Arc<ClassTable>,
+}
+
+/// Reusable storage for [`PlatformState::candidate_workers`], owned by
+/// a planner and grown once to the fleet's high-water mark (the
+/// allocation-free hot path of DESIGN.md §8). Its contents are only
+/// readable through the [`EligibleCandidates`] view the shortlist call
+/// returns — planner code cannot push workers into it.
+#[derive(Debug, Default)]
+pub struct CandidateBuf {
+    ids: Vec<WorkerId>,
+}
+
+impl CandidateBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The workers eligible to serve one request: spatially reachable
+/// before the pickup deadline **and** class-eligible. Only
+/// [`PlatformState::candidate_workers`] can construct one (the fields
+/// are private and there is no other constructor), which makes the
+/// eligibility seam compile-visible: a planner consumes this view and
+/// therefore *cannot* inject a worker the platform didn't clear —
+/// the DP never learns classes exist (DESIGN.md §12).
+#[derive(Debug, Clone, Copy)]
+pub struct EligibleCandidates<'a> {
+    ids: &'a [WorkerId],
+}
+
+impl<'a> EligibleCandidates<'a> {
+    /// Number of eligible workers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no worker is eligible.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `i`-th eligible worker (ascending worker-id order) — the
+    /// random-access form the parallel engine's index feed consumes.
+    #[inline]
+    pub fn get(&self, i: usize) -> WorkerId {
+        self.ids[i]
+    }
+
+    /// Iterates the eligible workers in ascending id order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = WorkerId> + 'a {
+        self.ids.iter().copied()
+    }
+
+    /// Crate-private escape hatch for the engines inside `urpsm-core`
+    /// (decision phase, fused planner). Deliberately not `pub`:
+    /// external planner crates can only consume the view.
+    #[inline]
+    pub(crate) fn as_ids(self) -> &'a [WorkerId] {
+        self.ids
+    }
+
+    /// Crate-private constructor for unit tests of the engines.
+    #[cfg(test)]
+    pub(crate) fn from_ids(ids: &'a [WorkerId]) -> Self {
+        EligibleCandidates { ids }
+    }
 }
 
 thread_local! {
@@ -199,7 +279,33 @@ impl PlatformState {
             completed: FxHashSet::default(),
             cancelled: Vec::new(),
             congestion: None,
+            classes: Arc::new(ClassTable::single()),
         }
+    }
+
+    /// Installs the fleet's vehicle-class table: every worker's class
+    /// profile (speed multiplier, range budget) is looked up and pushed
+    /// into its route, and workers joining later inherit it — the exact
+    /// mirror of [`PlatformState::set_congestion`]. With the default
+    /// single-class table every profile is standard and schedules are
+    /// untouched.
+    ///
+    /// # Panics
+    /// If a worker's class id is not in the table.
+    pub fn set_classes(&mut self, classes: Arc<ClassTable>) {
+        for agent in &mut self.agents {
+            let profile = classes.get(agent.worker.class);
+            agent
+                .route
+                .set_class_profile(profile.speed_permille, profile.range);
+        }
+        self.classes = classes;
+    }
+
+    /// The installed vehicle-class table.
+    #[inline]
+    pub fn classes(&self) -> &Arc<ClassTable> {
+        &self.classes
     }
 
     /// Installs (or removes) a congestion profile: every worker's
@@ -291,15 +397,66 @@ impl PlatformState {
         self.grid.mem_bytes()
     }
 
-    /// Shortlists workers that could possibly pick `r` up before its
-    /// pickup deadline (Algo. 5 line 3): straight-line reachability at
-    /// the network's top speed — a *safe* filter, since no worker can
-    /// beat a straight line at top speed.
+    /// Shortlists workers eligible to serve `r` (Algo. 5 line 3):
+    /// straight-line reachability at the network's top speed — a *safe*
+    /// filter, since no worker can beat a straight line at top speed
+    /// (and no class travels faster than baseline, see
+    /// [`crate::types::ClassTable::new`]) — joined with the
+    /// vehicle-class filter of the request's
+    /// [`crate::types::ClassConstraint`]. These are the only two
+    /// eligibility decisions made anywhere outside
+    /// [`Route::insertion_feasible_with`]; planners receive the result
+    /// as an opaque [`EligibleCandidates`] view.
     ///
     /// `direct` is `L = dis(o_r, d_r)`. Results are sorted by worker id
     /// for determinism. Pure read: safe to call concurrently.
-    pub fn candidate_workers(&self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
-        out.clear();
+    pub fn candidate_workers<'b>(
+        &self,
+        r: &Request,
+        direct: Cost,
+        buf: &'b mut CandidateBuf,
+    ) -> EligibleCandidates<'b> {
+        self.shortlist_where(r, direct, buf, |class| r.class.allows(class))
+    }
+
+    /// [`PlatformState::candidate_workers`] for a *group* of requests
+    /// that will share one vehicle (epoch/batch planners): the spatial
+    /// shortlist of the group's lead request, filtered to workers whose
+    /// class every member's constraint allows. With only unconstrained
+    /// requests this is exactly the lead's shortlist.
+    ///
+    /// # Panics
+    /// If `group` is empty.
+    pub fn group_candidate_workers<'b>(
+        &self,
+        group: &[Request],
+        direct: Cost,
+        buf: &'b mut CandidateBuf,
+    ) -> EligibleCandidates<'b> {
+        let lead = &group[0];
+        self.shortlist_where(lead, direct, buf, |class| {
+            group.iter().all(|m| m.class.allows(class))
+        })
+    }
+
+    /// Whether two requests could ride the same vehicle as far as class
+    /// constraints go — the grouping half of the eligibility seam for
+    /// shareability planners. Pure read.
+    #[inline]
+    pub fn classes_compatible(&self, a: &Request, b: &Request) -> bool {
+        a.class.compatible(b.class)
+    }
+
+    /// Shared body of the shortlist calls: grid reachability within the
+    /// pickup budget, plus a class predicate.
+    fn shortlist_where<'b>(
+        &self,
+        r: &Request,
+        direct: Cost,
+        buf: &'b mut CandidateBuf,
+        class_ok: impl Fn(ClassId) -> bool,
+    ) -> EligibleCandidates<'b> {
+        buf.ids.clear();
         let pickup_ddl = r.deadline.saturating_sub(direct);
         let budget_cs = pickup_ddl.saturating_sub(self.now);
         // centiseconds → meters at top speed.
@@ -307,9 +464,28 @@ impl PlatformState {
         let origin = self.oracle.point(r.origin);
         GRID_SCRATCH.with_borrow_mut(|scratch| {
             self.grid.items_within(origin, radius_m, scratch);
-            out.extend(scratch.iter().map(|&id| WorkerId(id as u32)));
+            buf.ids.extend(
+                scratch
+                    .iter()
+                    .map(|&id| WorkerId(id as u32))
+                    .filter(|&w| class_ok(self.agents[w.idx()].worker.class)),
+            );
         });
-        out.sort_unstable();
+        buf.ids.sort_unstable();
+        EligibleCandidates { ids: &buf.ids }
+    }
+
+    /// The class half of the eligibility seam, for planners that build
+    /// their own *spatial* shortlist (T-Share's sorted-cell rings):
+    /// drops every worker the request's class constraint excludes,
+    /// preserving order. Grid item ids (`u64`) because that is what the
+    /// cell indexes yield. A no-op for unconstrained requests, so the
+    /// homogeneous fleet is untouched byte for byte.
+    pub fn retain_class_eligible(&self, r: &Request, ids: &mut Vec<u64>) {
+        ids.retain(|&id| {
+            r.class
+                .allows(self.agents[WorkerId(id as u32).idx()].worker.class)
+        });
     }
 
     /// The read plane as a value: a borrow-checked, `Sync` snapshot of
@@ -583,6 +759,10 @@ impl PlatformState {
         if self.congestion.is_some() {
             route.set_congestion(self.congestion.clone());
         }
+        let profile = self.classes.get(w.class);
+        if !profile.is_standard_profile() {
+            route.set_class_profile(profile.speed_permille, profile.range);
+        }
         self.agents.push(WorkerAgent {
             worker: w,
             route,
@@ -626,6 +806,7 @@ impl PlatformState {
         let ticket = HandoffTicket {
             position: agent.route.start_vertex(),
             capacity: agent.worker.capacity,
+            class: agent.worker.class,
         };
         self.retire_worker(w);
         Some(ticket)
@@ -752,11 +933,16 @@ impl<'a> FleetView<'a> {
         self.state.agents()
     }
 
-    /// Deadline-reachability shortlist — see
-    /// [`PlatformState::candidate_workers`].
+    /// Eligibility shortlist (deadline reachability × class filter) —
+    /// see [`PlatformState::candidate_workers`].
     #[inline]
-    pub fn candidate_workers(&self, r: &Request, direct: Cost, out: &mut Vec<WorkerId>) {
-        self.state.candidate_workers(r, direct, out);
+    pub fn candidate_workers<'b>(
+        &self,
+        r: &Request,
+        direct: Cost,
+        buf: &'b mut CandidateBuf,
+    ) -> EligibleCandidates<'b> {
+        self.state.candidate_workers(r, direct, buf)
     }
 }
 
@@ -788,6 +974,7 @@ mod tests {
     fn workers(n: u32, origin: u32, cap: u32) -> Vec<Worker> {
         (0..n)
             .map(|i| Worker {
+                class: Default::default(),
                 id: WorkerId(i),
                 origin: VertexId(origin + i),
                 capacity: cap,
@@ -797,6 +984,7 @@ mod tests {
 
     fn request(id: u32, o: u32, d: u32, deadline: Time) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),
@@ -815,12 +1003,11 @@ mod tests {
         // Pickup at vertex 50, deadline leaves 10s of pickup budget at
         // 1 m/s ⇒ 10 m radius: no worker is within 10 m of x=50.
         let r = request(1, 50, 52, 1_200); // L = 200 cs; pickup ddl = 1000 cs = 10 s
-        let mut out = Vec::new();
-        state.candidate_workers(&r, 200, &mut out);
-        assert!(out.is_empty());
+        let mut buf = CandidateBuf::new();
+        assert!(state.candidate_workers(&r, 200, &mut buf).is_empty());
         // Generous deadline: everyone is a candidate, sorted by id.
         let r = request(2, 50, 52, 100_000);
-        state.candidate_workers(&r, 200, &mut out);
+        let out: Vec<WorkerId> = state.candidate_workers(&r, 200, &mut buf).iter().collect();
         assert_eq!(out, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
     }
 
@@ -853,14 +1040,13 @@ mod tests {
         let oracle = line_oracle(100);
         let ws = workers(1, 0, 4);
         let mut state = PlatformState::new(oracle, &ws, 5.0, 0);
-        let mut out = Vec::new();
+        let mut buf = CandidateBuf::new();
         // Tight budget near vertex 90: worker at 0 not a candidate.
         let r = request(1, 90, 92, state.now() + 200 + 500); // 5 s pickup budget
-        state.candidate_workers(&r, 200, &mut out);
-        assert!(out.is_empty());
+        assert!(state.candidate_workers(&r, 200, &mut buf).is_empty());
         // Teleport the worker to vertex 89 (simulating movement).
         state.set_worker_position(WorkerId(0), VertexId(89), 100, None);
-        state.candidate_workers(&r, 200, &mut out);
+        let out: Vec<WorkerId> = state.candidate_workers(&r, 200, &mut buf).iter().collect();
         assert_eq!(out, vec![WorkerId(0)]);
     }
 
@@ -952,14 +1138,20 @@ mod tests {
             linear_dp_insertion(&state.agent(WorkerId(0)).route, 4, &r1, state.oracle()).unwrap();
         state.commit(WorkerId(0), &r1, &plan);
 
-        let mut out = Vec::new();
+        let mut buf = CandidateBuf::new();
         let probe = request(9, 2, 4, 1_000_000);
-        state.candidate_workers(&probe, 200, &mut out);
+        let out: Vec<WorkerId> = state
+            .candidate_workers(&probe, 200, &mut buf)
+            .iter()
+            .collect();
         assert_eq!(out, vec![WorkerId(0), WorkerId(1)]);
 
         state.retire_worker(WorkerId(0));
         state.retire_worker(WorkerId(0)); // idempotent
-        state.candidate_workers(&probe, 200, &mut out);
+        let out: Vec<WorkerId> = state
+            .candidate_workers(&probe, 200, &mut buf)
+            .iter()
+            .collect();
         assert_eq!(out, vec![WorkerId(1)]);
         assert!(!state.agent(WorkerId(0)).active);
 
@@ -994,21 +1186,28 @@ mod tests {
         assert_eq!(
             ticket,
             HandoffTicket {
+                class: Default::default(),
                 position: VertexId(42),
                 capacity: 4
             }
         );
         assert!(!state.agent(WorkerId(1)).active);
-        let mut out = Vec::new();
+        let mut buf = CandidateBuf::new();
         let probe = request(9, 42, 44, 1_000_000);
-        state.candidate_workers(&probe, 200, &mut out);
-        assert!(!out.contains(&WorkerId(1)), "exported worker left the grid");
+        assert!(
+            !state
+                .candidate_workers(&probe, 200, &mut buf)
+                .iter()
+                .any(|w| w == WorkerId(1)),
+            "exported worker left the grid"
+        );
         // Re-export: already retired, refused.
         assert_eq!(state.export_worker(WorkerId(1)), None);
 
         // The receiving platform re-creates the worker from the ticket.
         let mut dest = PlatformState::new(oracle, &[], 10.0, 100);
         dest.add_worker(Worker {
+            class: Default::default(),
             id: WorkerId(0),
             origin: ticket.position,
             capacity: ticket.capacity,
@@ -1024,16 +1223,19 @@ mod tests {
         let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
         state.advance_clock(500);
         state.add_worker(Worker {
+            class: Default::default(),
             id: WorkerId(1),
             origin: VertexId(50),
             capacity: 2,
         });
         assert_eq!(state.num_workers(), 2);
         assert_eq!(state.agent(WorkerId(1)).route.start_time(), 500);
-        let mut out = Vec::new();
+        let mut buf = CandidateBuf::new();
         let probe = request(9, 50, 52, 1_000_000);
-        state.candidate_workers(&probe, 200, &mut out);
-        assert!(out.contains(&WorkerId(1)));
+        assert!(state
+            .candidate_workers(&probe, 200, &mut buf)
+            .iter()
+            .any(|w| w == WorkerId(1)));
     }
 
     #[test]
@@ -1043,6 +1245,7 @@ mod tests {
         let ws = workers(1, 0, 4);
         let mut state = PlatformState::new(oracle, &ws, 10.0, 0);
         state.add_worker(Worker {
+            class: Default::default(),
             id: WorkerId(7),
             origin: VertexId(0),
             capacity: 2,
@@ -1055,8 +1258,8 @@ mod tests {
         let ws = workers(3, 0, 4);
         let state = PlatformState::new(oracle, &ws, 10.0, 0);
         let r = request(2, 50, 52, 100_000);
-        let mut expect = Vec::new();
-        state.candidate_workers(&r, 200, &mut expect);
+        let mut buf = CandidateBuf::new();
+        let expect: Vec<WorkerId> = state.candidate_workers(&r, 200, &mut buf).iter().collect();
         assert_eq!(expect, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
 
         // The same query through a shared view, from four threads at
@@ -1064,9 +1267,10 @@ mod tests {
         let view = state.view();
         let pool = crate::exec::WorkPool::new(4);
         let outs = pool.run(|_| {
+            let mut buf = CandidateBuf::new();
             let mut out = Vec::new();
             for _ in 0..50 {
-                view.candidate_workers(&r, 200, &mut out);
+                out = view.candidate_workers(&r, 200, &mut buf).iter().collect();
             }
             out
         });
@@ -1098,6 +1302,7 @@ mod tests {
         assert!(state.agent(WorkerId(0)).route.time_dependent());
         // Joiners inherit the profile.
         state.add_worker(Worker {
+            class: Default::default(),
             id: WorkerId(1),
             origin: VertexId(20),
             capacity: 2,
@@ -1108,10 +1313,12 @@ mod tests {
         state.snap_worker_on_leg(WorkerId(0), VertexId(2), 400, 300);
         assert_eq!(state.agent(WorkerId(0)).route.arr(1), 1_000);
         assert_eq!(state.agent(WorkerId(0)).route.leg(1), 300);
-        let mut out = Vec::new();
+        let mut buf = CandidateBuf::new();
         let probe = request(9, 2, 4, 1_000_000);
-        state.candidate_workers(&probe, 200, &mut out);
-        assert!(out.contains(&WorkerId(0)));
+        assert!(state
+            .candidate_workers(&probe, 200, &mut buf)
+            .iter()
+            .any(|w| w == WorkerId(0)));
     }
 
     #[test]
@@ -1119,6 +1326,7 @@ mod tests {
     fn worker_ids_must_be_dense() {
         let oracle = line_oracle(10);
         let ws = vec![Worker {
+            class: Default::default(),
             id: WorkerId(5),
             origin: VertexId(0),
             capacity: 4,

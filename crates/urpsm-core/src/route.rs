@@ -127,6 +127,16 @@ pub struct Route {
     leg: SchedArray<Cost>,
     /// Departure-time-aware travel times; `None` = free flow.
     congestion: Option<Arc<dyn TravelTimeProvider>>,
+    /// Per-mille vehicle-class travel-time multiplier (1000 = network
+    /// baseline). Composes on the *input* side of the provider seam:
+    /// the free-flow base is stretched before the provider sees it, so
+    /// FIFO / conservation / monotonicity hold pointwise per scaled
+    /// base. Like `congestion`, this is context, not state.
+    speed_permille: u32,
+    /// Per-class range budget: the route is infeasible while its
+    /// remaining planned free-flow distance exceeds this (battery
+    /// between depot recharges). `None` = unlimited.
+    range: Option<Cost>,
     /// Frozen head-leg travel time after a mid-leg snap (see the type
     /// docs). Invariant while set: `arr[1] = arr[0] + head_time`.
     head_time: Option<Cost>,
@@ -148,6 +158,8 @@ impl Clone for Route {
             picked: self.picked.clone(),
             leg: self.leg.clone(),
             congestion: self.congestion.clone(),
+            speed_permille: self.speed_permille,
+            range: self.range,
             head_time: self.head_time,
         }
     }
@@ -162,6 +174,8 @@ impl Clone for Route {
         self.picked.clone_from(&source.picked);
         self.congestion.clone_from(&source.congestion);
         self.leg.clone_from(&source.leg);
+        self.speed_permille = source.speed_permille;
+        self.range = source.range;
         self.head_time = source.head_time;
     }
 }
@@ -201,6 +215,8 @@ impl std::fmt::Debug for Route {
                 "congestion",
                 &self.congestion.as_ref().map(|p| p.name().to_string()),
             )
+            .field("speed_permille", &self.speed_permille)
+            .field("range", &self.range)
             .finish()
     }
 }
@@ -227,6 +243,8 @@ impl Route {
             picked: SchedArray::from_slice(&[0]),
             leg: SchedArray::from_slice(&[0]),
             congestion: None,
+            speed_permille: crate::types::SPEED_BASELINE_PM,
+            range: None,
             head_time: None,
         }
     }
@@ -248,13 +266,57 @@ impl Route {
         self.congestion.as_ref()
     }
 
-    /// `true` when schedules actually depend on departure times — a
-    /// provider is installed and it is not the identity. Planners use
-    /// this to decide whether a free-flow plan needs the stretched
-    /// feasibility re-check ([`Route::insertion_feasible`]).
+    /// Installs this worker's vehicle-class profile: a per-mille
+    /// travel-time multiplier (`1000` = baseline) and an optional range
+    /// budget, then rebuilds the schedule. Called by the platform when
+    /// a class table is installed or a worker joins — planners never
+    /// touch this; the class reaches them only as a stretched schedule
+    /// plus the [`Route::insertion_feasible_with`] gate.
+    pub fn set_class_profile(&mut self, speed_permille: u32, range: Option<Cost>) {
+        self.speed_permille = speed_permille;
+        self.range = range;
+        self.head_time = None;
+        self.rebuild();
+    }
+
+    /// The per-mille class travel-time multiplier (1000 = baseline).
+    #[inline]
+    pub fn speed_permille(&self) -> u32 {
+        self.speed_permille
+    }
+
+    /// The per-class range budget, if any.
+    #[inline]
+    pub fn range(&self) -> Option<Cost> {
+        self.range
+    }
+
+    /// `true` when the schedule — or feasibility — can diverge from the
+    /// free-flow plan: a non-identity provider is installed, the class
+    /// travels slower than baseline, or a range budget applies.
+    /// Planners use this to decide whether a free-flow plan needs the
+    /// stretched feasibility re-check ([`Route::insertion_feasible`]);
+    /// broadening the definition here is what keeps class effects
+    /// visible to them with zero planner-side edits (DESIGN.md §12).
     #[inline]
     pub fn time_dependent(&self) -> bool {
         self.congestion.as_ref().is_some_and(|p| !p.is_flat())
+            || self.speed_permille != crate::types::SPEED_BASELINE_PM
+            || self.range.is_some()
+    }
+
+    /// The free-flow base of leg `k` stretched by the class multiplier.
+    /// Scaling the *input* to the provider (not its output) preserves
+    /// the provider's FIFO contract: output-side scaling can reorder
+    /// arrivals when the inner profile satisfies FIFO with equality.
+    #[inline]
+    fn class_base(&self, k: usize) -> Cost {
+        let base = self.leg[k];
+        if self.speed_permille == crate::types::SPEED_BASELINE_PM || base >= INF {
+            base
+        } else {
+            base.saturating_mul(self.speed_permille as Cost) / 1_000
+        }
     }
 
     /// Travel time of leg `k` under the installed provider, departing
@@ -266,7 +328,9 @@ impl Route {
     /// (byte-identical to PR 5), while a rerouting provider
     /// (`road_network::td`) answers with the path that is shortest *at
     /// `depart`*. Probes and commits both flow through here, so a plan
-    /// is always scored with the same schedule it will drive.
+    /// is always scored with the same schedule it will drive. The
+    /// vehicle class composes here too: the base handed to the provider
+    /// is the class-stretched free-flow time ([`Route::class_base`]).
     #[inline]
     fn leg_time_at(&self, k: usize, depart: Time) -> Cost {
         if k == 1 {
@@ -274,9 +338,10 @@ impl Route {
                 return frozen;
             }
         }
+        let base = self.class_base(k);
         match &self.congestion {
-            None => self.leg[k],
-            Some(p) => p.leg_time_between(self.vertex(k - 1), self.vertex(k), self.leg[k], depart),
+            None => base,
+            Some(p) => p.leg_time_between(self.vertex(k - 1), self.vertex(k), base, depart),
         }
     }
 
@@ -703,6 +768,11 @@ impl Route {
         if self.initial_load > worker_capacity {
             return false;
         }
+        if let Some(range) = self.range {
+            if self.remaining_distance() > range {
+                return false;
+            }
+        }
         for k in 1..=self.stops.len() {
             if self.arr[k] > self.stops[k - 1].ddl || self.picked[k] > worker_capacity {
                 return false;
@@ -729,6 +799,14 @@ impl Route {
                 "initial load {} exceeds capacity {worker_capacity}",
                 self.initial_load
             ));
+        }
+        if let Some(range) = self.range {
+            let remaining = self.remaining_distance();
+            if remaining > range {
+                return Err(format!(
+                    "range violated: remaining planned distance {remaining} exceeds budget {range}"
+                ));
+            }
         }
         // Precedence bookkeeping.
         let mut open: std::collections::HashMap<RequestId, StopKind> =
@@ -791,6 +869,7 @@ mod tests {
 
     fn req(rid: u32, o: u32, d: u32, deadline: Time, cap: u32) -> Request {
         Request {
+            class: Default::default(),
             id: RequestId(rid),
             origin: VertexId(o),
             destination: VertexId(d),

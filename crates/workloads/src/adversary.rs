@@ -76,6 +76,7 @@ impl AdversaryInstance {
             }
         };
         let request = Request {
+            class: Default::default(),
             id: RequestId(0),
             origin,
             destination,
@@ -93,6 +94,7 @@ impl AdversaryInstance {
         AdversaryInstance {
             network,
             worker: Worker {
+                class: Default::default(),
                 id: WorkerId(0),
                 origin: VertexId(0),
                 capacity: 2,

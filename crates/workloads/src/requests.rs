@@ -315,6 +315,7 @@ impl<'a> RequestStreamGenerator<'a> {
                 }
             };
             out.push(Request {
+                class: Default::default(),
                 id: RequestId(i as u32),
                 origin,
                 destination,

@@ -10,8 +10,11 @@ use road_network::graph::RoadNetwork;
 use road_network::oracle::{DijkstraOracle, DistanceOracle, HubLabelOracle};
 use road_network::VertexId;
 use urpsm_core::event::{PlatformEvent, ReassignPolicy};
-use urpsm_core::types::{Request, RequestId, Time, Worker, WorkerId};
+use urpsm_core::types::{
+    ClassConstraint, ClassId, ClassTable, Request, RequestId, Time, Worker, WorkerId,
+};
 
+use crate::fleet::{fleet_mix_from_env, FleetMix};
 use crate::network_gen::{grid_city, ring_radial_city};
 use crate::requests::{RequestStreamConfig, RequestStreamGenerator};
 use crate::MINUTE_CS;
@@ -63,6 +66,11 @@ pub struct Scenario {
     /// when unset, mirroring the demand-side `rush_hour_skew` knob's
     /// supply-side counterpart.
     pub congestion: Option<Arc<CongestionProfile>>,
+    /// Vehicle-class table of a heterogeneous fleet
+    /// ([`ScenarioBuilder::fleet_mix`]); `None` = the homogeneous
+    /// single-standard-class fleet, which keeps every downstream layer
+    /// on the pre-class code path byte for byte.
+    pub classes: Option<Arc<ClassTable>>,
 }
 
 impl Scenario {
@@ -140,6 +148,8 @@ pub struct ScenarioBuilder {
     arrivals: usize,
     departure_policy: ReassignPolicy,
     congestion: Option<Arc<CongestionProfile>>,
+    fleet: Option<FleetMix>,
+    transfer_fraction: f64,
 }
 
 impl ScenarioBuilder {
@@ -172,6 +182,8 @@ impl ScenarioBuilder {
             arrivals: 0,
             departure_policy: ReassignPolicy::Reassign,
             congestion: None,
+            fleet: None,
+            transfer_fraction: 0.0,
         }
     }
 
@@ -331,11 +343,56 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a heterogeneous fleet: workers are assigned classes by
+    /// the mix's fractions and re-draw their capacities around the
+    /// class's nominal capacity, all from an independent RNG stream —
+    /// the base fleet-origin and request draws stay byte-identical.
+    /// Explicitly passing [`FleetMix::single`] forces the homogeneous
+    /// fleet even under `URPSM_FLEET=mixed`; leaving the knob unset
+    /// reads the environment default.
+    pub fn fleet_mix(mut self, mix: FleetMix) -> Self {
+        self.fleet = Some(mix);
+        self
+    }
+
+    /// Fraction of trips split into a two-leg mode transfer (clamped
+    /// to `[0, 1]`): a feeder leg (origin → central hub) that only the
+    /// mix's *last* class may serve, then a trunk leg (hub →
+    /// destination) reserved for the second-to-last class. Needs a
+    /// fleet mix with at least two classes.
+    pub fn mode_transfer_fraction(mut self, f: f64) -> Self {
+        self.transfer_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
     /// Panics on scale knobs that cannot describe a real workload —
     /// the same construction-time contract as
     /// [`crate::requests::WeightedCdf`]: fail loudly where the knob
     /// was set, not deep inside generation with an opaque overflow.
-    fn validate(&self) {
+    fn validate(&self, mix: Option<&FleetMix>) {
+        if let Some(mix) = mix {
+            let sum: f64 = mix.entries().iter().map(|(_, f)| f).sum();
+            assert!(
+                (sum - 1.0).abs() <= 1e-6,
+                "fleet-mix fractions must sum to 1 (got {sum})"
+            );
+            for (class, f) in mix.entries() {
+                assert!(
+                    class.capacity >= 1,
+                    "fleet-mix class {:?} has zero capacity",
+                    class.name
+                );
+                assert!(
+                    (0.0..=1.0).contains(f) && f.is_finite(),
+                    "fleet-mix fraction for {:?} must be in [0, 1] (got {f})",
+                    class.name
+                );
+            }
+        }
+        assert!(
+            self.transfer_fraction == 0.0 || mix.is_some_and(|m| m.entries().len() >= 2),
+            "mode-transfer legs need a fleet mix with at least two classes"
+        );
         match self.spec {
             NetworkSpec::Grid { nx, ny, .. } => {
                 assert!(nx >= 1 && ny >= 1, "grid city needs nx, ny >= 1");
@@ -383,7 +440,10 @@ impl ScenarioBuilder {
     /// cell, ids overflowing `u32`) — each with a message naming the
     /// offending knob.
     pub fn build(self) -> Scenario {
-        self.validate();
+        // Explicit knob wins; otherwise the `URPSM_FLEET` environment
+        // default (mirroring the congestion/threads/shards knobs).
+        let mix = self.fleet.clone().or_else(fleet_mix_from_env);
+        self.validate(mix.as_ref());
         let network: Arc<RoadNetwork> = match self.spec {
             NetworkSpec::Grid { nx, ny, block_m } => {
                 Arc::new(grid_city(nx, ny, block_m, self.seed))
@@ -416,8 +476,9 @@ impl ScenarioBuilder {
         // Fleet: uniform initial vertices, Gaussian capacities (§6.1).
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5eed));
         let n_vertices = network.num_vertices() as u32;
-        let workers: Vec<Worker> = (0..self.workers as u32)
+        let mut workers: Vec<Worker> = (0..self.workers as u32)
             .map(|i| Worker {
+                class: Default::default(),
                 id: WorkerId(i),
                 origin: VertexId(rng.gen_range(0..n_vertices)),
                 capacity: gauss_capacity(&mut rng, self.capacity_mu),
@@ -435,7 +496,48 @@ impl ScenarioBuilder {
             ..Default::default()
         };
         let mut gen = RequestStreamGenerator::new(&network, cfg, self.seed.wrapping_add(0xcafe));
-        let requests = gen.generate(&*oracle);
+        let mut requests = gen.generate(&*oracle);
+
+        // Two-leg mode transfers: a selected trip becomes a feeder leg
+        // (origin → hub, last class only) plus a trunk leg (hub →
+        // destination, second-to-last class only), sharing the trip's
+        // time budget. Independent RNG stream, so a zero fraction is
+        // byte-identical to no knob at all.
+        let heterogeneous = mix.as_ref().is_some_and(|m| !m.is_single_standard());
+        if self.transfer_fraction > 0.0 {
+            let n_classes = mix.as_ref().map_or(1, |m| m.entries().len());
+            let feeder = ClassConstraint::Only(ClassId((n_classes - 1) as u16));
+            let trunk = ClassConstraint::Only(ClassId((n_classes - 2) as u16));
+            let hub = central_hub(&network);
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x1e95));
+            let mut split = Vec::with_capacity(requests.len());
+            for r in requests {
+                if r.origin != hub && r.destination != hub && rng.gen_bool(self.transfer_fraction) {
+                    let handover = r.release + (r.deadline - r.release) / 2;
+                    split.push(Request {
+                        destination: hub,
+                        deadline: handover,
+                        penalty: self.penalty_factor * oracle.dis(r.origin, hub),
+                        class: feeder,
+                        ..r
+                    });
+                    split.push(Request {
+                        origin: hub,
+                        release: handover,
+                        penalty: self.penalty_factor * oracle.dis(hub, r.destination),
+                        class: trunk,
+                        ..r
+                    });
+                } else {
+                    split.push(r);
+                }
+            }
+            split.sort_by_key(|r| r.release);
+            for (i, r) in split.iter_mut().enumerate() {
+                r.id = RequestId(i as u32);
+            }
+            requests = split;
+        }
 
         // Lifecycle extras, seeded independently so enabling them never
         // perturbs the base fleet/stream draws.
@@ -463,6 +565,7 @@ impl ScenarioBuilder {
                 fleet_events.push(PlatformEvent::WorkerJoined {
                     at,
                     worker: Worker {
+                        class: Default::default(),
                         id: WorkerId((self.workers + i) as u32),
                         origin: VertexId(rng.gen_range(0..n_vertices)),
                         capacity: gauss_capacity(&mut rng, self.capacity_mu),
@@ -481,6 +584,28 @@ impl ScenarioBuilder {
         }
         fleet_events.sort_by_key(|e| (e.time(), e.tie_rank()));
 
+        // Class assignment, last and from its own RNG stream: the
+        // homogeneous default never touches a worker, and a mix never
+        // perturbs the origin/capacity/lifecycle draws above.
+        let mut classes = None;
+        if heterogeneous {
+            let mix = mix.as_ref().expect("heterogeneous implies a mix");
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xc1a5));
+            let assign = |w: &mut Worker, rng: &mut StdRng| {
+                w.class = mix.sample(rng.gen::<f64>());
+                w.capacity = gauss_capacity(rng, mix.entries()[w.class.idx()].0.capacity);
+            };
+            for w in &mut workers {
+                assign(w, &mut rng);
+            }
+            for e in &mut fleet_events {
+                if let PlatformEvent::WorkerJoined { worker, .. } = e {
+                    assign(worker, &mut rng);
+                }
+            }
+            classes = Some(Arc::new(mix.class_table()));
+        }
+
         Scenario {
             name: self.name,
             network,
@@ -492,8 +617,31 @@ impl ScenarioBuilder {
             grid_cell_m: self.grid_cell_m,
             alpha: self.alpha,
             congestion: self.congestion,
+            classes,
         }
     }
+}
+
+/// The deterministic transfer hub: the vertex nearest the network's
+/// point centroid (a ring city's center, a grid city's middle).
+fn central_hub(network: &RoadNetwork) -> VertexId {
+    let n = network.num_vertices();
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for v in 0..n {
+        let p = network.point(VertexId(v as u32));
+        cx += p.x;
+        cy += p.y;
+    }
+    let (cx, cy) = (cx / n as f64, cy / n as f64);
+    let mut best = (f64::INFINITY, VertexId(0));
+    for v in 0..n {
+        let p = network.point(VertexId(v as u32));
+        let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+        if d2 < best.0 {
+            best = (d2, VertexId(v as u32));
+        }
+    }
+    best.1
 }
 
 /// Gaussian worker capacity `K_w ~ N(μ, ~2)` via the Irwin–Hall(4)
@@ -529,6 +677,24 @@ pub fn chengdu_like(seed: u64) -> ScenarioBuilder {
         .horizon(120 * MINUTE_CS)
         .hotspots(4)
         .penalty_factor(10)
+        .seed(seed)
+}
+
+/// The mode-transfer preset: the Chengdu-like city under the mixed
+/// three-class fleet ([`FleetMix::mixed`]), with 30 % of trips split
+/// into a feeder leg (e-bikes only, origin → central hub) and a trunk
+/// leg (vans only, hub → destination) — the two-leg multi-modal
+/// workload of DESIGN.md §12.
+pub fn mode_transfer(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::named("mode-transfer")
+        .ring_city(24, 48)
+        .workers(200)
+        .requests(3_000)
+        .horizon(120 * MINUTE_CS)
+        .hotspots(4)
+        .penalty_factor(10)
+        .fleet_mix(FleetMix::mixed())
+        .mode_transfer_fraction(0.3)
         .seed(seed)
 }
 
@@ -590,12 +756,15 @@ mod tests {
 
     #[test]
     fn capacities_center_on_mu() {
+        // Pin the homogeneous fleet: under `URPSM_FLEET=mixed` the
+        // capacities would recenter on the class means instead of μ.
         let s = ScenarioBuilder::named("t")
             .grid_city(5, 5)
             .workers(500)
             .capacity(6)
             .requests(1)
             .seed(1)
+            .fleet_mix(FleetMix::single())
             .build();
         let avg: f64 =
             s.workers.iter().map(|w| f64::from(w.capacity)).sum::<f64>() / s.workers.len() as f64;
@@ -768,6 +937,119 @@ mod tests {
             .requests
             .iter()
             .all(|r| r.deadline == r.release + 10 * MINUTE_CS));
+    }
+
+    #[test]
+    fn fleet_mix_changes_no_seeded_draw() {
+        let base = || {
+            ScenarioBuilder::named("t")
+                .grid_city(6, 6)
+                .workers(30)
+                .requests(40)
+                .seed(13)
+        };
+        // An explicit mix overrides `URPSM_FLEET`, so both sides are
+        // pinned and the comparison holds under every CI env job.
+        let plain = base().fleet_mix(FleetMix::single()).build();
+        let mixed = base().fleet_mix(FleetMix::mixed()).build();
+        // The mix must not perturb demand or the fleet's placement;
+        // classes/capacities are redrawn from their own stream.
+        assert_eq!(plain.requests, mixed.requests);
+        assert_eq!(plain.workers.len(), mixed.workers.len());
+        for (p, m) in plain.workers.iter().zip(&mixed.workers) {
+            assert_eq!(p.id, m.id);
+            assert_eq!(p.origin, m.origin);
+        }
+        assert!(plain.classes.is_none());
+        let table = mixed.classes.expect("mixed fleet installs a table");
+        assert_eq!(table.len(), 3);
+        assert!(mixed.workers.iter().all(|w| w.capacity >= 1));
+        // All three classes appear in a fleet of 30 with overwhelming
+        // probability at this seed (pinned).
+        let mut seen = [false; 3];
+        for w in &mixed.workers {
+            seen[w.class.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "classes drawn: {seen:?}");
+        // An explicit single mix is the identity, byte for byte.
+        let single = base().fleet_mix(FleetMix::single()).build();
+        assert_eq!(plain.workers, single.workers);
+        assert_eq!(plain.requests, single.requests);
+        assert!(single.classes.is_none());
+    }
+
+    #[test]
+    fn mode_transfer_splits_trips_into_constrained_legs() {
+        let s = mode_transfer(5)
+            .ring_city(6, 12)
+            .workers(10)
+            .requests(60)
+            .build();
+        assert_eq!(s.name, "mode-transfer");
+        assert!(s.requests.len() > 60, "some trips must have split");
+        assert!(s.requests.windows(2).all(|w| w[0].release <= w[1].release));
+        // Ids re-issued densely after the split.
+        for (i, r) in s.requests.iter().enumerate() {
+            assert_eq!(r.id, RequestId(i as u32));
+        }
+        let feeder = s
+            .requests
+            .iter()
+            .filter(|r| r.class == ClassConstraint::Only(ClassId(2)))
+            .count();
+        let trunk = s
+            .requests
+            .iter()
+            .filter(|r| r.class == ClassConstraint::Only(ClassId(1)))
+            .count();
+        assert_eq!(feeder, trunk, "legs come in pairs");
+        assert!(feeder > 0, "a 30% fraction over 60 trips must split some");
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn fleet_mix_fractions_must_sum_to_one() {
+        use urpsm_core::types::VehicleClass;
+        let _ = ScenarioBuilder::named("bad")
+            .fleet_mix(FleetMix::new(vec![
+                (VehicleClass::standard(), 0.5),
+                (
+                    VehicleClass {
+                        name: "van",
+                        capacity: 6,
+                        speed_permille: 1_100,
+                        range: None,
+                    },
+                    0.2,
+                ),
+            ]))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn fleet_mix_rejects_zero_capacity_classes() {
+        use urpsm_core::types::VehicleClass;
+        let _ = ScenarioBuilder::named("bad")
+            .fleet_mix(FleetMix::new(vec![(
+                VehicleClass {
+                    name: "ghost",
+                    capacity: 0,
+                    speed_permille: 1_000,
+                    range: None,
+                },
+                1.0,
+            )]))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn mode_transfer_needs_a_multi_class_mix() {
+        let _ = ScenarioBuilder::named("bad")
+            .mode_transfer_fraction(0.5)
+            .fleet_mix(FleetMix::single())
+            .build();
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn load_trace<R: BufRead>(r: R) -> Result<Vec<Request>, TraceError> {
                 .map_err(|_| TraceError::BadRecord(lineno, format!("bad {name}")))
         };
         let r = Request {
+            class: Default::default(),
             id: RequestId(parse(0, "id")? as u32),
             origin: VertexId(parse(1, "origin")? as u32),
             destination: VertexId(parse(2, "destination")? as u32),

@@ -25,6 +25,7 @@ fn run_draw(inst: &AdversaryInstance) -> (u64, u64) {
             threads: 0,
             congestion: None,
             td_oracle: false,
+            classes: None,
         },
     )
     .expect("single-request stream is sorted");

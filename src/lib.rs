@@ -143,6 +143,7 @@ pub fn service<'p>(scenario: &Scenario, planner: Box<dyn Planner + 'p>) -> Mobil
             threads: 0,
             congestion: scenario_congestion(scenario),
             td_oracle: road_network::td::td_oracle_from_env(),
+            classes: scenario.classes.clone(),
         },
         start_time,
     )
@@ -200,6 +201,7 @@ where
                 threads: 0,
                 congestion: scenario_congestion(scenario),
                 td_oracle: road_network::td::td_oracle_from_env(),
+                classes: scenario.classes.clone(),
             },
             ..ShardConfig::default()
         },
@@ -224,6 +226,7 @@ pub fn simulate(scenario: &Scenario, planner: &mut dyn Planner) -> SimOutcome {
             threads: 0,
             congestion: scenario_congestion(scenario),
             td_oracle: road_network::td::td_oracle_from_env(),
+            classes: scenario.classes.clone(),
         },
     )
     .expect("scenario request streams are sorted by construction")

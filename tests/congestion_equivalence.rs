@@ -35,6 +35,7 @@ fn run(sc: &Scenario, threads: usize, congestion: Option<Arc<CongestionProfile>>
             drain: true,
             threads: 0,
             congestion,
+            classes: sc.classes.clone(),
             // Env default on purpose: the CI td-oracle job runs this
             // whole suite with URPSM_TD_ORACLE=1, so every identity
             // gate here also pins the TD provider.
@@ -68,6 +69,7 @@ fn run_sharded(
                 drain: true,
                 threads: 0,
                 congestion,
+                classes: sc.classes.clone(),
                 ..SimConfig::default()
             },
             ..ShardConfig::default()
@@ -175,6 +177,7 @@ fn peak_profile_strictly_increases_planned_arrivals() {
     let oracle: Arc<dyn DistanceOracle> =
         Arc::new(MatrixOracle::from_network(&b.finish().unwrap()));
     let fleet = vec![Worker {
+        class: Default::default(),
         id: WorkerId(0),
         origin: VertexId(0),
         capacity: 4,
@@ -183,6 +186,7 @@ fn peak_profile_strictly_increases_planned_arrivals() {
     let requests: Vec<Request> = [(0u32, 5u32, 10u32), (1, 12, 20), (2, 25, 30)]
         .iter()
         .map(|&(id, o, d)| Request {
+            class: Default::default(),
             id: RequestId(id),
             origin: VertexId(o),
             destination: VertexId(d),

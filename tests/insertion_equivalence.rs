@@ -71,6 +71,7 @@ fn mk_request(
     }
     let (o, d) = (VertexId(o as u32), VertexId(d as u32));
     Some(Request {
+        class: Default::default(),
         id: RequestId(id),
         origin: o,
         destination: d,

@@ -130,6 +130,7 @@ fn simconfig_override_reaches_the_planner() {
             alpha: sc.alpha,
             drain: true,
             threads: 4,
+            classes: sc.classes.clone(),
             ..SimConfig::default()
         },
     )

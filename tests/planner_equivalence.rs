@@ -38,6 +38,7 @@ fn run_counted(
             alpha: scenario.alpha,
             drain: true,
             threads: 0,
+            classes: scenario.classes.clone(),
             ..SimConfig::default()
         },
     )

@@ -29,6 +29,7 @@ fn line_oracle(n: usize, unit: Cost) -> MatrixOracle {
 
 fn request(id: u32, o: usize, d: usize, deadline: Time, cap: u32) -> Request {
     Request {
+        class: Default::default(),
         id: RequestId(id),
         origin: VertexId(o as u32),
         destination: VertexId(d as u32),
@@ -189,7 +190,7 @@ proptest! {
         probe in (1usize..40, 1usize..40),
     ) {
         let oracle = std::sync::Arc::new(line_oracle(40, 100));
-        let worker = Worker { id: WorkerId(0), origin: VertexId(0), capacity: 3 };
+        let worker = Worker { id: WorkerId(0), origin: VertexId(0), capacity: 3, class: Default::default() };
         let mut state = PlatformState::new(oracle.clone(), &[worker], 10_000.0, 0);
 
         // Commit the existing pairs through insertion (loose deadlines).

@@ -41,6 +41,7 @@ fn line_oracle() -> Arc<MatrixOracle> {
 fn fresh_state(oracle: Arc<MatrixOracle>, congested: bool) -> PlatformState {
     let workers: Vec<Worker> = (0..WORKERS)
         .map(|i| Worker {
+            class: Default::default(),
             id: WorkerId(i),
             origin: VertexId(i * (VERTICES as u32 / WORKERS)),
             capacity: 4,
@@ -77,6 +78,7 @@ fn stream(n: u32) -> Vec<Request> {
                 _ => (1_000_000, u64::MAX / 4),               // roomy
             };
             Request {
+                class: Default::default(),
                 id: RequestId(i),
                 origin: VertexId(o),
                 destination: VertexId(d),

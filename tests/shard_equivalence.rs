@@ -72,6 +72,7 @@ fn run_sharded(sc: &Scenario, shards: usize, boundary: BoundaryPolicy) -> Sharde
                 alpha: sc.alpha,
                 drain: true,
                 threads: 0,
+                classes: sc.classes.clone(),
                 ..SimConfig::default()
             },
         },
@@ -121,6 +122,14 @@ fn one_shard_matches_the_batch_planner_epochs_too() {
         |_| Box::new(BatchPlanner::new()),
         ShardConfig {
             shards: 1,
+            sim: SimConfig {
+                grid_cell_m: sc.grid_cell_m,
+                alpha: sc.alpha,
+                drain: true,
+                threads: 0,
+                classes: sc.classes.clone(),
+                ..SimConfig::default()
+            },
             ..ShardConfig::default()
         },
         sc.event_stream().first().map_or(0, PlatformEvent::time),

@@ -141,6 +141,7 @@ fn line_oracle(n: usize) -> MatrixOracle {
 
 fn request(id: u32, o: usize, d: usize, deadline: Time) -> Request {
     Request {
+        class: Default::default(),
         id: RequestId(id),
         origin: VertexId(o as u32),
         destination: VertexId(d as u32),

@@ -36,6 +36,7 @@ fn run_with(
             threads: 0,
             congestion,
             td_oracle,
+            classes: sc.classes.clone(),
         },
         start,
     );
@@ -86,6 +87,7 @@ fn run_sharded(
                 threads: 0,
                 congestion,
                 td_oracle,
+                classes: sc.classes.clone(),
             },
             ..ShardConfig::default()
         },
@@ -367,12 +369,14 @@ fn td_oracle_routes_around_a_jam_the_overlay_cannot() {
     );
 
     let fleet = vec![Worker {
+        class: Default::default(),
         id: WorkerId(0),
         origin: VertexId(0),
         capacity: 4,
     }];
     let t0 = 8 * HOUR_CS;
     let requests = vec![Request {
+        class: Default::default(),
         id: RequestId(0),
         origin: VertexId(0),
         destination: VertexId(2),
@@ -394,6 +398,7 @@ fn td_oracle_routes_around_a_jam_the_overlay_cannot() {
                 threads: 0,
                 congestion: Some(profile.clone()),
                 td_oracle,
+                classes: None,
             },
         )
         .unwrap();
